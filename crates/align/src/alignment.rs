@@ -1,0 +1,374 @@
+//! Alignment representation: edit operations, gapped alignments, and
+//! re-scoring validation.
+//!
+//! Naming note: the paper's DP matrices `I` and `D` (Fig. 1) are gap
+//! states *of the DP*, while the edit ops here follow CIGAR conventions
+//! from the query's perspective:
+//!
+//! * [`EditOp::Diag`] — consume one target and one query base (match or
+//!   substitution; DP `S` diagonal move),
+//! * [`EditOp::GapQ`] — consume target bases only (gap in the query; the
+//!   paper's `I` chain, CIGAR `D`),
+//! * [`EditOp::GapT`] — consume query bases only (gap in the target; the
+//!   paper's `D` chain, CIGAR `I`).
+
+use fastz_genome::{Scoring, Sequence};
+use std::fmt;
+
+/// One run-length-encoded edit operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Diagonal run: `n` aligned base pairs (matches or substitutions).
+    Diag(u32),
+    /// `n` target bases aligned against a gap in the query.
+    GapQ(u32),
+    /// `n` query bases aligned against a gap in the target.
+    GapT(u32),
+}
+
+impl EditOp {
+    /// Run length of this op.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        match *self {
+            EditOp::Diag(n) | EditOp::GapQ(n) | EditOp::GapT(n) => n,
+        }
+    }
+
+    /// True if this is a zero-length run.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// CIGAR opcode character (`M`, `D`, `I`).
+    pub fn cigar_char(&self) -> char {
+        match self {
+            EditOp::Diag(_) => 'M',
+            EditOp::GapQ(_) => 'D',
+            EditOp::GapT(_) => 'I',
+        }
+    }
+
+    /// Target/query bases consumed by this op.
+    #[inline]
+    pub fn consumes(&self) -> (u32, u32) {
+        match *self {
+            EditOp::Diag(n) => (n, n),
+            EditOp::GapQ(n) => (n, 0),
+            EditOp::GapT(n) => (0, n),
+        }
+    }
+}
+
+/// Appends `op` to `ops`, merging with a trailing op of the same kind.
+pub fn push_op(ops: &mut Vec<EditOp>, op: EditOp) {
+    if op.is_empty() {
+        return;
+    }
+    if let Some(last) = ops.last_mut() {
+        match (last, op) {
+            (EditOp::Diag(a), EditOp::Diag(b)) => {
+                *a += b;
+                return;
+            }
+            (EditOp::GapQ(a), EditOp::GapQ(b)) => {
+                *a += b;
+                return;
+            }
+            (EditOp::GapT(a), EditOp::GapT(b)) => {
+                *a += b;
+                return;
+            }
+            _ => {}
+        }
+    }
+    ops.push(op);
+}
+
+/// A gapped local alignment between a target and a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Target interval `[target_start, target_end)`.
+    pub target_start: usize,
+    /// End of the target interval (exclusive).
+    pub target_end: usize,
+    /// Query interval `[query_start, query_end)`.
+    pub query_start: usize,
+    /// End of the query interval (exclusive).
+    pub query_end: usize,
+    /// Alignment score under the scoring scheme it was produced with.
+    pub score: i32,
+    /// Run-length-encoded edit script from the start to the end.
+    pub ops: Vec<EditOp>,
+}
+
+impl Alignment {
+    /// Aligned length in target bases.
+    pub fn target_len(&self) -> usize {
+        self.target_end - self.target_start
+    }
+
+    /// Aligned length in query bases.
+    pub fn query_len(&self) -> usize {
+        self.query_end - self.query_start
+    }
+
+    /// The paper bins alignments by the larger of the two extents; this is
+    /// that "alignment length" (number of base pairs including gaps on the
+    /// longer side).
+    pub fn length(&self) -> usize {
+        self.target_len().max(self.query_len())
+    }
+
+    /// Total columns in the alignment (diagonal runs + both gap kinds).
+    pub fn columns(&self) -> usize {
+        self.ops.iter().map(|op| op.len() as usize).sum()
+    }
+
+    /// CIGAR string (`"35M2D18M"` style).
+    pub fn cigar(&self) -> String {
+        let mut s = String::new();
+        for op in &self.ops {
+            s.push_str(&op.len().to_string());
+            s.push(op.cigar_char());
+        }
+        s
+    }
+
+    /// Checks structural validity: ops consume exactly the stated
+    /// intervals and intervals lie within the sequences.
+    pub fn is_consistent(&self, target: &Sequence, query: &Sequence) -> bool {
+        if self.target_end > target.len()
+            || self.query_end > query.len()
+            || self.target_start > self.target_end
+            || self.query_start > self.query_end
+        {
+            return false;
+        }
+        let (mut t, mut q) = (0u64, 0u64);
+        for op in &self.ops {
+            let (dt, dq) = op.consumes();
+            t += dt as u64;
+            q += dq as u64;
+        }
+        t == self.target_len() as u64 && q == self.query_len() as u64
+    }
+
+    /// Recomputes the alignment score from the edit script and sequences.
+    /// Equals `self.score` for any correctly produced alignment.
+    pub fn rescore(&self, target: &Sequence, query: &Sequence, scoring: &Scoring) -> i32 {
+        let tc = target.codes();
+        let qc = query.codes();
+        let mut score = 0i32;
+        let mut t = self.target_start;
+        let mut q = self.query_start;
+        for op in &self.ops {
+            match *op {
+                EditOp::Diag(n) => {
+                    for _ in 0..n {
+                        score += scoring.subst.score(tc[t], qc[q]);
+                        t += 1;
+                        q += 1;
+                    }
+                }
+                EditOp::GapQ(n) => {
+                    score -= scoring.gaps.gap_cost(n as usize);
+                    t += n as usize;
+                }
+                EditOp::GapT(n) => {
+                    score -= scoring.gaps.gap_cost(n as usize);
+                    q += n as usize;
+                }
+            }
+        }
+        score
+    }
+
+    /// Fraction of diagonal columns that are exact matches.
+    pub fn identity(&self, target: &Sequence, query: &Sequence) -> f64 {
+        let tc = target.codes();
+        let qc = query.codes();
+        let mut matches = 0usize;
+        let mut diag = 0usize;
+        let mut t = self.target_start;
+        let mut q = self.query_start;
+        for op in &self.ops {
+            match *op {
+                EditOp::Diag(n) => {
+                    for _ in 0..n {
+                        if tc[t] == qc[q] {
+                            matches += 1;
+                        }
+                        t += 1;
+                        q += 1;
+                    }
+                    diag += n as usize;
+                }
+                EditOp::GapQ(n) => t += n as usize,
+                EditOp::GapT(n) => q += n as usize,
+            }
+        }
+        if diag == 0 {
+            0.0
+        } else {
+            matches as f64 / diag as f64
+        }
+    }
+
+    /// True if `anchor_t, anchor_q` falls inside this alignment's target
+    /// and query intervals (used by LASTZ's sequential work reduction).
+    pub fn contains_point(&self, anchor_t: usize, anchor_q: usize) -> bool {
+        anchor_t >= self.target_start
+            && anchor_t < self.target_end
+            && anchor_q >= self.query_start
+            && anchor_q < self.query_end
+    }
+}
+
+impl fmt::Display for Alignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t[{}-{}) q[{}-{}) score={} {}",
+            self.target_start,
+            self.target_end,
+            self.query_start,
+            self.query_end,
+            self.score,
+            self.cigar()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::Sequence;
+
+    fn seqs() -> (Sequence, Sequence) {
+        (
+            Sequence::from_ascii("t", b"ACGTACGTAC").unwrap(),
+            Sequence::from_ascii("q", b"ACGTTACGTA").unwrap(),
+        )
+    }
+
+    #[test]
+    fn push_op_merges_same_kind() {
+        let mut ops = vec![];
+        push_op(&mut ops, EditOp::Diag(3));
+        push_op(&mut ops, EditOp::Diag(2));
+        push_op(&mut ops, EditOp::GapQ(1));
+        push_op(&mut ops, EditOp::Diag(0)); // ignored
+        push_op(&mut ops, EditOp::GapQ(4));
+        assert_eq!(ops, vec![EditOp::Diag(5), EditOp::GapQ(5)]);
+    }
+
+    #[test]
+    fn cigar_rendering() {
+        let a = Alignment {
+            target_start: 0,
+            target_end: 6,
+            query_start: 0,
+            query_end: 5,
+            score: 0,
+            ops: vec![EditOp::Diag(4), EditOp::GapQ(2), EditOp::GapT(1)],
+        };
+        assert_eq!(a.cigar(), "4M2D1I");
+        assert_eq!(a.columns(), 7);
+        assert_eq!(a.length(), 6);
+    }
+
+    #[test]
+    fn consistency_checks_consumption() {
+        let (t, q) = seqs();
+        let good = Alignment {
+            target_start: 0,
+            target_end: 4,
+            query_start: 0,
+            query_end: 4,
+            score: 0,
+            ops: vec![EditOp::Diag(4)],
+        };
+        assert!(good.is_consistent(&t, &q));
+        let bad = Alignment {
+            target_end: 5,
+            ..good.clone()
+        };
+        assert!(!bad.is_consistent(&t, &q));
+        let overflow = Alignment {
+            target_start: 8,
+            target_end: 12,
+            ..good
+        };
+        assert!(!overflow.is_consistent(&t, &q));
+    }
+
+    #[test]
+    fn rescore_matches_hand_computation() {
+        let (t, q) = seqs();
+        let scoring = Scoring::lastz_default();
+        // t: ACGT-ACGTA
+        // q: ACGTTACGTA  → 4M 1I(gapT) 5M, all matches
+        let a = Alignment {
+            target_start: 0,
+            target_end: 9,
+            query_start: 0,
+            query_end: 10,
+            score: 0,
+            ops: vec![EditOp::Diag(4), EditOp::GapT(1), EditOp::Diag(5)],
+        };
+        assert!(a.is_consistent(&t, &q));
+        let expected: i32 = [91, 100, 100, 91].iter().sum::<i32>() // ACGT
+            - 430 // 1-base gap
+            + 91 + 100 + 100 + 91 + 91; // ACGTA
+        assert_eq!(a.rescore(&t, &q, &scoring), expected);
+    }
+
+    #[test]
+    fn identity_counts_matches_only() {
+        let t = Sequence::from_ascii("t", b"ACGT").unwrap();
+        let q = Sequence::from_ascii("q", b"ACGA").unwrap();
+        let a = Alignment {
+            target_start: 0,
+            target_end: 4,
+            query_start: 0,
+            query_end: 4,
+            score: 0,
+            ops: vec![EditOp::Diag(4)],
+        };
+        assert!((a.identity(&t, &q) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_point_boundaries() {
+        let a = Alignment {
+            target_start: 10,
+            target_end: 20,
+            query_start: 5,
+            query_end: 15,
+            score: 0,
+            ops: vec![],
+        };
+        assert!(a.contains_point(10, 5));
+        assert!(a.contains_point(19, 14));
+        assert!(!a.contains_point(20, 14));
+        assert!(!a.contains_point(19, 15));
+        assert!(!a.contains_point(9, 5));
+    }
+
+    #[test]
+    fn display_includes_cigar() {
+        let a = Alignment {
+            target_start: 1,
+            target_end: 3,
+            query_start: 2,
+            query_end: 4,
+            score: 42,
+            ops: vec![EditOp::Diag(2)],
+        };
+        let shown = format!("{a}");
+        assert!(shown.contains("score=42"));
+        assert!(shown.contains("2M"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Alignment chaining (LASTZ's `--chain` stage).
+//!
+//! After gapped extension, LASTZ can chain compatible local alignments
+//! into a single best-scoring colinear chain (useful for syntenic
+//! comparisons). We implement the classic sparse dynamic programming
+//! formulation: alignments are nodes; an edge `a → b` exists when `b`
+//! starts strictly after `a` ends in both sequences; the chain score is
+//! the sum of member scores minus an affine penalty on the inter-block
+//! gaps. O(n²) DP over end-sorted alignments — the alignment counts
+//! after extension are small (hundreds), so the quadratic cost is
+//! irrelevant.
+
+use crate::alignment::Alignment;
+
+/// Inter-block gap penalties for chaining.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChainPenalties {
+    /// Cost per skipped target base between chained blocks.
+    pub target_gap: f64,
+    /// Cost per skipped query base between chained blocks.
+    pub query_gap: f64,
+    /// Fixed cost per join.
+    pub join: f64,
+}
+
+impl Default for ChainPenalties {
+    fn default() -> Self {
+        // LASTZ's chain defaults: diagonal drift is much cheaper than the
+        // DP gap costs (these join across unalignable interludes).
+        ChainPenalties {
+            target_gap: 0.5,
+            query_gap: 0.5,
+            join: 100.0,
+        }
+    }
+}
+
+/// A chain: indices into the input alignment slice, in colinear order,
+/// plus the chain's net score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chain {
+    /// Member indices into the input slice, in target order.
+    pub members: Vec<usize>,
+    /// Total member score minus gap penalties.
+    pub score: f64,
+}
+
+impl Chain {
+    /// Target span `[start, end)` covered by the chain.
+    pub fn target_span(&self, alignments: &[Alignment]) -> (usize, usize) {
+        let first = &alignments[self.members[0]];
+        let last = &alignments[*self.members.last().unwrap()];
+        (first.target_start, last.target_end)
+    }
+}
+
+/// True if `b` can follow `a` in a colinear chain.
+#[inline]
+fn precedes(a: &Alignment, b: &Alignment) -> bool {
+    a.target_end <= b.target_start && a.query_end <= b.query_start
+}
+
+/// Penalty for joining `a → b`.
+#[inline]
+fn join_cost(a: &Alignment, b: &Alignment, p: &ChainPenalties) -> f64 {
+    let dt = (b.target_start - a.target_end) as f64;
+    let dq = (b.query_start - a.query_end) as f64;
+    p.join + p.target_gap * dt + p.query_gap * dq
+}
+
+/// Finds the best-scoring colinear chain over `alignments`.
+///
+/// Returns `None` for an empty input. Alignments with non-positive score
+/// still participate (they can bridge two strong blocks).
+pub fn best_chain(alignments: &[Alignment], penalties: &ChainPenalties) -> Option<Chain> {
+    if alignments.is_empty() {
+        return None;
+    }
+    // Order by target end (ties by query end) for the DP sweep.
+    let mut order: Vec<usize> = (0..alignments.len()).collect();
+    order.sort_by_key(|&i| (alignments[i].target_end, alignments[i].query_end));
+
+    // dp[k] = best chain score ending at order[k]; back[k] = predecessor.
+    let mut dp: Vec<f64> = Vec::with_capacity(order.len());
+    let mut back: Vec<Option<usize>> = vec![None; order.len()];
+    for (k, &i) in order.iter().enumerate() {
+        let mut best = alignments[i].score as f64;
+        for (j, &prev_i) in order.iter().enumerate().take(k) {
+            let prev = &alignments[prev_i];
+            if precedes(prev, &alignments[i]) {
+                let cand =
+                    dp[j] + alignments[i].score as f64 - join_cost(prev, &alignments[i], penalties);
+                if cand > best {
+                    best = cand;
+                    back[k] = Some(j);
+                }
+            }
+        }
+        dp.push(best);
+    }
+
+    // Best chain end, then backtrack.
+    let (mut k, _) = dp
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    let score = dp[k];
+    let mut members = vec![order[k]];
+    while let Some(prev) = back[k] {
+        k = prev;
+        members.push(order[k]);
+    }
+    members.reverse();
+    Some(Chain { members, score })
+}
+
+/// Greedily extracts disjoint chains in decreasing score order until no
+/// alignment with positive chain score remains (LASTZ reports the single
+/// best chain; multi-chain extraction is useful for duplicated synteny).
+pub fn all_chains(alignments: &[Alignment], penalties: &ChainPenalties) -> Vec<Chain> {
+    let mut remaining: Vec<usize> = (0..alignments.len()).collect();
+    let mut chains = Vec::new();
+    while !remaining.is_empty() {
+        let subset: Vec<Alignment> = remaining.iter().map(|&i| alignments[i].clone()).collect();
+        let Some(chain) = best_chain(&subset, penalties) else {
+            break;
+        };
+        if chain.score <= 0.0 {
+            break;
+        }
+        // Map subset indices back to original indices and remove them.
+        let members: Vec<usize> = chain.members.iter().map(|&k| remaining[k]).collect();
+        let taken: std::collections::HashSet<usize> = members.iter().copied().collect();
+        remaining.retain(|i| !taken.contains(i));
+        chains.push(Chain {
+            members,
+            score: chain.score,
+        });
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ts: usize, te: usize, qs: usize, qe: usize, score: i32) -> Alignment {
+        Alignment {
+            target_start: ts,
+            target_end: te,
+            query_start: qs,
+            query_end: qe,
+            score,
+            ops: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(best_chain(&[], &ChainPenalties::default()).is_none());
+        assert!(all_chains(&[], &ChainPenalties::default()).is_empty());
+    }
+
+    #[test]
+    fn single_alignment_chains_to_itself() {
+        let a = [block(0, 10, 0, 10, 500)];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        assert_eq!(c.members, vec![0]);
+        assert_eq!(c.score, 500.0);
+        assert_eq!(c.target_span(&a), (0, 10));
+    }
+
+    #[test]
+    fn colinear_blocks_chain_together() {
+        let a = [
+            block(0, 100, 0, 100, 1000),
+            block(150, 250, 160, 260, 1200),
+            block(300, 400, 310, 410, 900),
+        ];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        assert_eq!(c.members, vec![0, 1, 2]);
+        // 3100 total minus two joins (100 + 0.5·(50+60)) and (100 + 0.5·(50+50)).
+        let expected = 3100.0 - (100.0 + 0.5 * 110.0) - (100.0 + 0.5 * 100.0);
+        assert!((c.score - expected).abs() < 1e-9, "{}", c.score);
+    }
+
+    #[test]
+    fn crossing_blocks_do_not_chain() {
+        // Second block goes backwards in the query: not colinear.
+        let a = [block(0, 100, 200, 300, 1000), block(150, 250, 0, 100, 1000)];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        assert_eq!(c.members.len(), 1);
+    }
+
+    #[test]
+    fn expensive_join_prefers_the_single_best_block() {
+        let a = [block(0, 10, 0, 10, 500), block(100_000, 100_010, 100_000, 100_010, 400)];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        // Joining costs ~100 + 0.5·2·99,990 ≈ 100,090 — far more than 400.
+        assert_eq!(c.members, vec![0]);
+        assert_eq!(c.score, 500.0);
+    }
+
+    #[test]
+    fn chain_skips_a_bad_middle_block() {
+        // A weak off-diagonal middle block costs more to include than to
+        // bridge over.
+        let a = [
+            block(0, 100, 0, 100, 2000),
+            block(110, 120, 5_000, 5_010, 10), // way off in the query
+            block(200, 300, 200, 300, 2000),
+        ];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        assert_eq!(c.members, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_chains_extracts_disjoint_syntenies() {
+        // Two parallel syntenic runs (e.g. a duplication): the second-best
+        // chain must appear as its own entry.
+        let a = [
+            block(0, 100, 0, 100, 1000),
+            block(200, 300, 200, 300, 1000),
+            block(0, 100, 50_000, 50_100, 800),
+            block(200, 300, 50_200, 50_300, 800),
+        ];
+        let chains = all_chains(&a, &ChainPenalties::default());
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].members, vec![0, 1]);
+        assert_eq!(chains[1].members, vec![2, 3]);
+        assert!(chains[0].score > chains[1].score);
+        // Disjoint membership.
+        let all: Vec<usize> = chains.iter().flat_map(|c| c.members.clone()).collect();
+        let uniq: std::collections::HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), uniq.len());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let a = [
+            block(300, 400, 310, 410, 900),
+            block(0, 100, 0, 100, 1000),
+            block(150, 250, 160, 260, 1200),
+        ];
+        let c = best_chain(&a, &ChainPenalties::default()).unwrap();
+        assert_eq!(c.members, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Alignment output formats: MAF blocks and LASTZ's `--format=general`
+//! tab-separated table.
+//!
+//! LASTZ is usually consumed through one of these two formats; providing
+//! them makes the drivers' output directly comparable to real-world
+//! pipelines.
+
+use crate::alignment::{Alignment, EditOp};
+use fastz_genome::Sequence;
+use std::io::{self, Write};
+
+/// Renders the two gapped alignment rows (with `-` characters) of `a`.
+pub fn gapped_rows(a: &Alignment, target: &Sequence, query: &Sequence) -> (String, String) {
+    let tc = target.codes();
+    let qc = query.codes();
+    let mut trow = String::with_capacity(a.columns());
+    let mut qrow = String::with_capacity(a.columns());
+    let mut t = a.target_start;
+    let mut q = a.query_start;
+    for op in &a.ops {
+        match *op {
+            EditOp::Diag(n) => {
+                for _ in 0..n {
+                    trow.push(fastz_genome::Base::from_code(tc[t]).to_ascii() as char);
+                    qrow.push(fastz_genome::Base::from_code(qc[q]).to_ascii() as char);
+                    t += 1;
+                    q += 1;
+                }
+            }
+            EditOp::GapQ(n) => {
+                for _ in 0..n {
+                    trow.push(fastz_genome::Base::from_code(tc[t]).to_ascii() as char);
+                    qrow.push('-');
+                    t += 1;
+                }
+            }
+            EditOp::GapT(n) => {
+                for _ in 0..n {
+                    trow.push('-');
+                    qrow.push(fastz_genome::Base::from_code(qc[q]).to_ascii() as char);
+                    q += 1;
+                }
+            }
+        }
+    }
+    (trow, qrow)
+}
+
+/// Writes alignments as MAF (one `a`/`s`/`s` block each).
+pub fn write_maf<W: Write>(
+    out: &mut W,
+    alignments: &[Alignment],
+    target: &Sequence,
+    query: &Sequence,
+) -> io::Result<()> {
+    writeln!(out, "##maf version=1 scoring=fastz")?;
+    for a in alignments {
+        let (trow, qrow) = gapped_rows(a, target, query);
+        writeln!(out, "a score={}", a.score)?;
+        writeln!(
+            out,
+            "s {} {} {} + {} {}",
+            target.name(),
+            a.target_start,
+            a.target_len(),
+            target.len(),
+            trow
+        )?;
+        writeln!(
+            out,
+            "s {} {} {} + {} {}",
+            query.name(),
+            a.query_start,
+            a.query_len(),
+            query.len(),
+            qrow
+        )?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Writes LASTZ `--format=general`-style TSV: header then one row per
+/// alignment.
+pub fn write_general<W: Write>(
+    out: &mut W,
+    alignments: &[Alignment],
+    target: &Sequence,
+    query: &Sequence,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "#score\tname1\tstart1\tend1\tname2\tstart2\tend2\tidentity\tcigar"
+    )?;
+    for a in alignments {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}%\t{}",
+            a.score,
+            target.name(),
+            a.target_start,
+            a.target_end,
+            query.name(),
+            a.query_start,
+            a.query_end,
+            100.0 * a.identity(target, query),
+            a.cigar()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Sequence, Sequence, Alignment) {
+        let t = Sequence::from_ascii("chrT", b"AACGTACGTT").unwrap();
+        let q = Sequence::from_ascii("chrQ", b"CCGTACGG").unwrap();
+        // t[2..8] = CGTACG vs q[1..7] = CGTACG
+        let a = Alignment {
+            target_start: 2,
+            target_end: 8,
+            query_start: 1,
+            query_end: 7,
+            score: 42,
+            ops: vec![EditOp::Diag(6)],
+        };
+        assert!(a.is_consistent(&t, &q));
+        (t, q, a)
+    }
+
+    #[test]
+    fn gapped_rows_align_columns() {
+        let (t, q, a) = fixture();
+        let (trow, qrow) = gapped_rows(&a, &t, &q);
+        assert_eq!(trow, "CGTACG");
+        assert_eq!(qrow, "CGTACG");
+        assert_eq!(trow.len(), qrow.len());
+    }
+
+    #[test]
+    fn gapped_rows_show_gaps() {
+        let t = Sequence::from_ascii("t", b"ACGTTTACGT").unwrap();
+        let q = Sequence::from_ascii("q", b"ACGTACGT").unwrap();
+        let a = Alignment {
+            target_start: 0,
+            target_end: 10,
+            query_start: 0,
+            query_end: 8,
+            score: 0,
+            ops: vec![EditOp::Diag(4), EditOp::GapQ(2), EditOp::Diag(4)],
+        };
+        let (trow, qrow) = gapped_rows(&a, &t, &q);
+        assert_eq!(trow, "ACGTTTACGT");
+        assert_eq!(qrow, "ACGT--ACGT");
+    }
+
+    #[test]
+    fn maf_block_structure() {
+        let (t, q, a) = fixture();
+        let mut buf = Vec::new();
+        write_maf(&mut buf, &[a], &t, &q).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("##maf"));
+        assert!(text.contains("a score=42"));
+        assert!(text.contains("s chrT 2 6 + 10 CGTACG"));
+        assert!(text.contains("s chrQ 1 6 + 8 CGTACG"));
+    }
+
+    #[test]
+    fn general_table_structure() {
+        let (t, q, a) = fixture();
+        let mut buf = Vec::new();
+        write_general(&mut buf, &[a], &t, &q).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("#score"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("42\tchrT\t2\t8\tchrQ\t1\t7\t"));
+        assert!(row.ends_with("6M"));
+        assert!(row.contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_alignment_list() {
+        let (t, q, _) = fixture();
+        let mut buf = Vec::new();
+        write_maf(&mut buf, &[], &t, &q).unwrap();
+        write_general(&mut buf, &[], &t, &q).unwrap();
+        assert!(!buf.is_empty()); // headers only
+    }
+}

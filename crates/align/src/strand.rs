@@ -1,0 +1,201 @@
+//! Both-strand alignment.
+//!
+//! LASTZ aligns the query's forward and reverse-complement strands
+//! against the target; FastZ inherits that behaviour. This module runs a
+//! driver over both strands and maps minus-strand alignments back into
+//! original query coordinates.
+
+use crate::alignment::Alignment;
+use crate::driver::{sequential_gapped, DriverConfig, DriverReport};
+use fastz_genome::Sequence;
+use fastz_seed::{SeedIndex, Workload, WorkloadParams};
+
+/// Query strand of an alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strand {
+    /// The query as given.
+    Forward,
+    /// The reverse complement of the query.
+    Reverse,
+}
+
+/// An alignment plus the query strand it was found on.
+///
+/// For [`Strand::Reverse`], `alignment` coordinates refer to the
+/// reverse-complemented query; [`StrandedAlignment::query_interval_forward`]
+/// maps them back to the original query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrandedAlignment {
+    /// The underlying alignment.
+    pub alignment: Alignment,
+    /// Which query strand it aligns.
+    pub strand: Strand,
+}
+
+impl StrandedAlignment {
+    /// The query interval `[start, end)` in original (forward-strand)
+    /// coordinates.
+    pub fn query_interval_forward(&self, query_len: usize) -> (usize, usize) {
+        match self.strand {
+            Strand::Forward => (self.alignment.query_start, self.alignment.query_end),
+            Strand::Reverse => (
+                query_len - self.alignment.query_end,
+                query_len - self.alignment.query_start,
+            ),
+        }
+    }
+
+    /// Strand character for output formats (`+` / `-`).
+    pub fn strand_char(&self) -> char {
+        match self.strand {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+}
+
+/// Result of a both-strand run.
+#[derive(Clone, Debug)]
+pub struct BothStrandsReport {
+    /// All alignments from both strands.
+    pub alignments: Vec<StrandedAlignment>,
+    /// The forward-strand driver report.
+    pub forward: DriverReport,
+    /// The reverse-strand driver report.
+    pub reverse: DriverReport,
+}
+
+/// Seeds and gapped-extends both query strands with the sequential
+/// driver. The same seed index over `target` serves both strands.
+pub fn sequential_gapped_both_strands(
+    target: &Sequence,
+    query: &Sequence,
+    workload_params: &WorkloadParams,
+    config: &DriverConfig,
+) -> BothStrandsReport {
+    let index = SeedIndex::build(target, workload_params.shape.clone());
+    let span = workload_params.shape.span();
+    let _ = &index; // Workload rebuilds its own index; kept for parity.
+
+    let run = |q: &Sequence| -> DriverReport {
+        let wl = Workload::build(target, q, workload_params);
+        sequential_gapped(target, q, &wl.anchors, span, config)
+    };
+
+    let forward = run(query);
+    let rc = query.reverse_complement();
+    let reverse = run(&rc);
+
+    let mut alignments: Vec<StrandedAlignment> = Vec::new();
+    alignments.extend(forward.alignments.iter().cloned().map(|alignment| {
+        StrandedAlignment {
+            alignment,
+            strand: Strand::Forward,
+        }
+    }));
+    alignments.extend(reverse.alignments.iter().cloned().map(|alignment| {
+        StrandedAlignment {
+            alignment,
+            strand: Strand::Reverse,
+        }
+    }));
+
+    BothStrandsReport {
+        alignments,
+        forward,
+        reverse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::evolve::random_sequence;
+    use fastz_genome::Scoring;
+
+    /// Builds a target containing one forward copy and one
+    /// reverse-complemented copy of a conserved segment.
+    fn inverted_pair() -> (Sequence, Sequence) {
+        let core = random_sequence("core", 300, 0.5, 42);
+        let spacer = random_sequence("sp", 400, 0.5, 43);
+        let spacer2 = random_sequence("sp2", 400, 0.5, 44);
+        let mut t_codes = spacer.codes().to_vec();
+        t_codes.extend_from_slice(core.codes());
+        t_codes.extend_from_slice(spacer2.codes());
+        // Query: unrelated flanks around the reverse complement of core.
+        let qf1 = random_sequence("qf1", 350, 0.5, 45);
+        let qf2 = random_sequence("qf2", 350, 0.5, 46);
+        let rc_core = core.reverse_complement();
+        let mut q_codes = qf1.codes().to_vec();
+        q_codes.extend_from_slice(rc_core.codes());
+        q_codes.extend_from_slice(qf2.codes());
+        (
+            Sequence::from_codes("t", t_codes),
+            Sequence::from_codes("q", q_codes),
+        )
+    }
+
+    #[test]
+    fn inverted_homology_is_found_only_on_the_reverse_strand() {
+        let (t, q) = inverted_pair();
+        let report = sequential_gapped_both_strands(
+            &t,
+            &q,
+            &WorkloadParams::default(),
+            &DriverConfig::gapped(Scoring::bench_scaled()),
+        );
+        assert!(
+            report.forward.alignments.is_empty(),
+            "no forward homology exists"
+        );
+        assert!(
+            !report.reverse.alignments.is_empty(),
+            "the inverted segment must be found on the minus strand"
+        );
+        let best = report
+            .alignments
+            .iter()
+            .max_by_key(|a| a.alignment.score)
+            .unwrap();
+        assert_eq!(best.strand, Strand::Reverse);
+        assert_eq!(best.strand_char(), '-');
+        // The mapped-back query interval must cover the planted rc core
+        // (query positions 350..650).
+        let (qs, qe) = best.query_interval_forward(q.len());
+        assert!(qs >= 330 && qe <= 670, "mapped interval [{qs},{qe})");
+        assert!(qe - qs >= 280);
+    }
+
+    #[test]
+    fn forward_coordinates_are_identity_mapped() {
+        let a = StrandedAlignment {
+            alignment: Alignment {
+                target_start: 0,
+                target_end: 10,
+                query_start: 5,
+                query_end: 15,
+                score: 1,
+                ops: vec![],
+            },
+            strand: Strand::Forward,
+        };
+        assert_eq!(a.query_interval_forward(100), (5, 15));
+        assert_eq!(a.strand_char(), '+');
+    }
+
+    #[test]
+    fn reverse_coordinates_flip() {
+        let a = StrandedAlignment {
+            alignment: Alignment {
+                target_start: 0,
+                target_end: 10,
+                query_start: 5,
+                query_end: 15,
+                score: 1,
+                ops: vec![],
+            },
+            strand: Strand::Reverse,
+        };
+        assert_eq!(a.query_interval_forward(100), (85, 95));
+    }
+}

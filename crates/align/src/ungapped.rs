@@ -1,0 +1,204 @@
+//! Ungapped x-drop extension (LASTZ's filtering stage).
+//!
+//! The lower-sensitivity "ungapped LASTZ" variant filters seed sites by
+//! extending them *without gaps* along the seed diagonal, abandoning the
+//! walk once the running score drops `xdrop` below the best seen, and
+//! keeping the site only if the resulting HSP (high-scoring segment pair)
+//! reaches `hsp_threshold`. The paper's Figure 2 contrasts the alignments
+//! this filter admits against the gapped pipeline's.
+
+use fastz_genome::Scoring;
+
+/// An ungapped high-scoring segment pair on one diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hsp {
+    /// Target start (inclusive).
+    pub target_start: usize,
+    /// Target end (exclusive).
+    pub target_end: usize,
+    /// Query start (inclusive).
+    pub query_start: usize,
+    /// Score of the segment.
+    pub score: i32,
+}
+
+impl Hsp {
+    /// Segment length in base pairs.
+    pub fn len(&self) -> usize {
+        self.target_end - self.target_start
+    }
+
+    /// True for a zero-length segment.
+    pub fn is_empty(&self) -> bool {
+        self.target_end == self.target_start
+    }
+
+    /// Query end (exclusive) — ungapped, so it mirrors the target extent.
+    pub fn query_end(&self) -> usize {
+        self.query_start + self.len()
+    }
+}
+
+/// Walks one direction from `(t, q)` (exclusive of the start position for
+/// `dir = -1`, inclusive semantics documented at [`xdrop_extend`]),
+/// returning `(bases_consumed, score_gained)` of the best prefix.
+fn walk(
+    target: &[u8],
+    query: &[u8],
+    mut t: i64,
+    mut q: i64,
+    dir: i64,
+    scoring: &Scoring,
+) -> (usize, i32) {
+    let mut score = 0i32;
+    let mut best = 0i32;
+    let mut best_steps = 0usize;
+    let mut steps = 0usize;
+    loop {
+        if t < 0 || q < 0 || t >= target.len() as i64 || q >= query.len() as i64 {
+            break;
+        }
+        score += scoring.subst.score(target[t as usize], query[q as usize]);
+        steps += 1;
+        if score > best {
+            best = score;
+            best_steps = steps;
+        }
+        if score < best - scoring.xdrop {
+            break;
+        }
+        t += dir;
+        q += dir;
+    }
+    (best_steps, best)
+}
+
+/// Extends an anchor of length `seed_span` at `(target_pos, query_pos)`
+/// in both directions without gaps, x-drop terminated.
+///
+/// The returned HSP covers the best left extension, the seed span itself,
+/// and the best right extension.
+pub fn xdrop_extend(
+    target: &[u8],
+    query: &[u8],
+    target_pos: usize,
+    query_pos: usize,
+    seed_span: usize,
+    scoring: &Scoring,
+) -> Hsp {
+    debug_assert!(target_pos + seed_span <= target.len());
+    debug_assert!(query_pos + seed_span <= query.len());
+
+    // Seed body score.
+    let mut seed_score = 0i32;
+    for k in 0..seed_span {
+        seed_score += scoring.subst.score(target[target_pos + k], query[query_pos + k]);
+    }
+
+    let (left_steps, left_score) = walk(
+        target,
+        query,
+        target_pos as i64 - 1,
+        query_pos as i64 - 1,
+        -1,
+        scoring,
+    );
+    let (right_steps, right_score) = walk(
+        target,
+        query,
+        (target_pos + seed_span) as i64,
+        (query_pos + seed_span) as i64,
+        1,
+        scoring,
+    );
+
+    Hsp {
+        target_start: target_pos - left_steps,
+        target_end: target_pos + seed_span + right_steps,
+        query_start: query_pos - left_steps,
+        score: seed_score + left_score + right_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::{GapPenalties, Scoring, Sequence, SubstMatrix};
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        Sequence::from_ascii("x", s).unwrap().codes().to_vec()
+    }
+
+    fn scoring() -> Scoring {
+        Scoring {
+            subst: SubstMatrix::match_mismatch(10, -15),
+            gaps: GapPenalties::new(30, 5),
+            ydrop: 100,
+            xdrop: 40,
+            hsp_threshold: 50,
+            gapped_threshold: 50,
+        }
+    }
+
+    #[test]
+    fn perfect_context_extends_to_ends() {
+        let t = codes(b"ACGTACGTACGT");
+        let hsp = xdrop_extend(&t, &t, 4, 4, 4, &scoring());
+        assert_eq!(hsp.target_start, 0);
+        assert_eq!(hsp.target_end, 12);
+        assert_eq!(hsp.score, 120);
+        assert_eq!(hsp.len(), 12);
+        assert_eq!(hsp.query_end(), 12);
+    }
+
+    #[test]
+    fn xdrop_stops_in_garbage() {
+        let t = codes(b"CCCCCCCCACGTACGTCCCCCCCC");
+        let q = codes(b"GGGGGGGGACGTACGTGGGGGGGG");
+        let hsp = xdrop_extend(&t, &q, 8, 8, 8, &scoring());
+        assert_eq!(hsp.target_start, 8);
+        assert_eq!(hsp.target_end, 16);
+        assert_eq!(hsp.score, 80);
+    }
+
+    #[test]
+    fn extension_crosses_isolated_mismatch() {
+        // One mismatch inside otherwise matching context is worth crossing.
+        let t = codes(b"ACGTACGTTACGTACG");
+        let q = codes(b"ACGTACGTGACGTACG");
+        let hsp = xdrop_extend(&t, &q, 0, 0, 4, &scoring());
+        assert_eq!(hsp.target_end, 16);
+        assert_eq!(hsp.score, 15 * 10 - 15);
+    }
+
+    #[test]
+    fn anchor_at_sequence_edges() {
+        let t = codes(b"ACGT");
+        let hsp = xdrop_extend(&t, &t, 0, 0, 4, &scoring());
+        assert_eq!(hsp.target_start, 0);
+        assert_eq!(hsp.target_end, 4);
+        assert_eq!(hsp.score, 40);
+    }
+
+    #[test]
+    fn asymmetric_anchor_positions() {
+        let t = codes(b"TTTTACGTACGT");
+        let q = codes(b"ACGTACGTCCCC");
+        // Anchor: t[4..8] vs q[0..4] = "ACGT".
+        let hsp = xdrop_extend(&t, &q, 4, 0, 4, &scoring());
+        assert_eq!(hsp.target_start, 4);
+        assert_eq!(hsp.query_start, 0);
+        assert_eq!(hsp.target_end, 12);
+        assert_eq!(hsp.score, 80);
+    }
+
+    #[test]
+    fn ungapped_misses_what_gaps_would_bridge() {
+        // A 2-bp indel splits the homology; ungapped extension cannot
+        // bridge it so the HSP stays on one side.
+        let t = codes(b"ACGTACGTACGTTTACGTACGTACGT");
+        let q = codes(b"ACGTACGTACGTACGTACGTACGT");
+        let hsp = xdrop_extend(&t, &q, 0, 0, 4, &scoring());
+        assert!(hsp.target_end <= 14, "HSP ran past the indel: {hsp:?}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the end-to-end engines on a small synthetic
+//! pair: sequential gapped LASTZ, the ungapped-filtered variant, the
+//! multicore driver, and the FastZ pipeline (functional simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastz_align::{
+    multicore_gapped, sequential_gapped, sequential_ungapped_filtered, DriverConfig,
+};
+use fastz_core::{run_fastz, FastZConfig};
+use fastz_genome::evolve::{generate_pair, PairParams};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::DeviceSpec;
+use fastz_seed::{Workload, WorkloadParams};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let pair = generate_pair(&PairParams {
+        target_len: 20_000,
+        query_len: 20_000,
+        segments: 40,
+        ..PairParams::small_demo("pipe", 55)
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 400,
+            ..WorkloadParams::default()
+        },
+    );
+    let span = wl.shape.span();
+    let scoring = Scoring::bench_scaled();
+
+    let mut g = c.benchmark_group("pipelines");
+    g.sample_size(10);
+    g.bench_function("sequential_gapped", |b| {
+        b.iter(|| {
+            sequential_gapped(
+                &pair.target,
+                &pair.query,
+                &wl.anchors,
+                span,
+                &DriverConfig::gapped(scoring.clone()),
+            )
+            .alignments
+            .len()
+        })
+    });
+    g.bench_function("sequential_ungapped_filtered", |b| {
+        b.iter(|| {
+            sequential_ungapped_filtered(
+                &pair.target,
+                &pair.query,
+                &wl.anchors,
+                span,
+                &DriverConfig::gapped(scoring.clone()),
+            )
+            .alignments
+            .len()
+        })
+    });
+    g.bench_function("multicore_gapped_x4", |b| {
+        b.iter(|| {
+            multicore_gapped(
+                &pair.target,
+                &pair.query,
+                &wl.anchors,
+                span,
+                &DriverConfig::gapped(scoring.clone()),
+                4,
+            )
+            .alignments
+            .len()
+        })
+    });
+    g.bench_function("fastz_pipeline_sim", |b| {
+        let cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+        b.iter(|| {
+            run_fastz(&pair.target, &pair.query, &wl.anchors, span, &cfg)
+                .alignments
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

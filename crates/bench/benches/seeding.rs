@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for stage 1-2: seed index construction,
+//! anchor enumeration, and the two filtering passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastz_genome::evolve::{generate_pair, PairParams};
+use fastz_seed::{band_filter, filter_anchors, find_anchors, SeedIndex, SeedShape};
+
+fn bench_seeding(c: &mut Criterion) {
+    let pair = generate_pair(&PairParams {
+        target_len: 60_000,
+        query_len: 60_000,
+        segments: 110,
+        ..PairParams::small_demo("bench", 1234)
+    });
+
+    let mut g = c.benchmark_group("seeding");
+    g.sample_size(15);
+    g.throughput(Throughput::Bytes(pair.target.len() as u64));
+
+    for (name, shape) in [
+        ("exact19", SeedShape::exact(19)),
+        ("12of19", SeedShape::lastz_12of19()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("index_build", name), &shape, |b, sh| {
+            b.iter(|| SeedIndex::build(&pair.target, sh.clone()).len())
+        });
+        let index = SeedIndex::build(&pair.target, shape.clone());
+        g.bench_with_input(BenchmarkId::new("find_anchors", name), &shape, |b, _| {
+            b.iter(|| find_anchors(&index, &pair.query).len())
+        });
+    }
+
+    let index = SeedIndex::build(&pair.target, SeedShape::lastz_12of19());
+    let anchors = find_anchors(&index, &pair.query);
+    g.throughput(Throughput::Elements(anchors.len() as u64));
+    g.bench_function("diagonal_filter_w32", |b| {
+        b.iter(|| filter_anchors(&anchors, 32).len())
+    });
+    g.bench_function("band_filter_2048", |b| {
+        b.iter(|| band_filter(&anchors, 64, 2048).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_seeding);
+criterion_main!(benches);

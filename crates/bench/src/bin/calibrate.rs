@@ -1,0 +1,87 @@
+//! Calibration probe: prints the cost-model internals for one pair so
+//! the constants in `gpu_sim::model` and the workload scaling can be
+//! tuned against the paper's reported shapes. Not part of the paper's
+//! tables/figures — a developer tool.
+
+use fastz_bench::eval::paper_gpus;
+use fastz_bench::{evaluate_pair, HarnessOpts, PairWorkload};
+use fastz_genome::{within_genus_pairs, Scoring};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let scoring = Scoring::bench_scaled();
+    let pair = within_genus_pairs()
+        .into_iter()
+        .find(|p| opts.selects(p.label))
+        .expect("no pair selected");
+    println!("pair {} scale 1/{} max-anchors {}", pair.label, opts.scale.divisor, opts.max_anchors);
+    println!(
+        "scoring: ydrop {}, gaps {}/{}",
+        scoring.ydrop, scoring.gaps.open, scoring.gaps.extend
+    );
+
+    let wl = PairWorkload::build(&pair, &opts);
+    println!("anchors {}", wl.anchors.len());
+    let eval = evaluate_pair(&wl, &scoring);
+
+    println!("\n-- sequential reference --");
+    println!("cells {}  (per seed {:.0})", eval.seq_cells, eval.seq_cells as f64 / eval.seeds as f64);
+    println!("modeled {:.6} s   measured(Rust) {:.3} s", eval.seq_model_s, eval.seq_wall_s);
+
+    println!("\n-- FastZ functional stats --");
+    let st = &eval.fastz.stats;
+    let insp = &st.inspector.total;
+    let exec = &st.executor.total;
+    println!(
+        "problems {}  eager {}  executor {}",
+        st.problems, st.eager_resolved, st.executor_problems
+    );
+    println!(
+        "inspector: steps {}  cells {}  C/S {:.2}  dram {} B",
+        insp.steps,
+        insp.cells,
+        insp.cells as f64 / insp.steps.max(1) as f64,
+        insp.global_read + insp.global_written
+    );
+    println!(
+        "executor:  steps {}  cells {}  C/S {:.2}  dram {} B",
+        exec.steps,
+        exec.cells,
+        exec.cells as f64 / exec.steps.max(1) as f64,
+        exec.global_read + exec.global_written
+    );
+
+    println!("\n-- FastZ modeled times --");
+    for (g, dev) in paper_gpus().iter().enumerate() {
+        let tl = eval.fastz.retime(dev, 32);
+        println!(
+            "{:<10} total {:.6} s  insp {:.6}  exec {:.6}  other {:.6}  speedup {:.1}x",
+            dev.arch,
+            tl.total(),
+            tl.seconds("inspector"),
+            tl.seconds("executor"),
+            tl.seconds("other"),
+            eval.seq_model_s / tl.total()
+        );
+        let _ = g;
+    }
+    // Longest inspector kernel task.
+    let longest = eval
+        .fastz
+        .inspector_kernels
+        .iter()
+        .map(|k| k.longest_task_cycles())
+        .fold(0.0, f64::max);
+    println!("longest inspector task: {:.0} cycles ({:.6} s on Ampere)", longest, longest / 1.71e9);
+
+    println!("\n-- baselines --");
+    println!("multicore32 modeled {:.6} s  speedup {:.1}x", eval.multicore_s, eval.multicore_speedup());
+    for (g, dev) in paper_gpus().iter().enumerate() {
+        println!(
+            "feng-{:<7} modeled {:.6} s  speedup {:.2}x",
+            dev.arch,
+            eval.baseline_s[g],
+            eval.baseline_speedup(g)
+        );
+    }
+}

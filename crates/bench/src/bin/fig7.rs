@@ -1,0 +1,81 @@
+//! Figure 7: FastZ performance — speedup over sequential LASTZ for every
+//! within-genus benchmark.
+//!
+//! Seven bars per benchmark, exactly as in the paper: the Feng-et-al GPU
+//! baseline on Pascal/Volta/Ampere (slowdowns), the 32-process multicore
+//! configuration (~20x), and FastZ on Pascal/Volta/Ampere (~43x/93x/111x
+//! paper means). Pairs are ordered by decreasing bin-4 count (the paper's
+//! Table 2 order).
+
+use fastz_bench::table::{mean, speedup};
+use fastz_bench::{evaluate_pair, HarnessOpts, PairWorkload, Table};
+use fastz_genome::{within_genus_pairs, Scoring};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let scoring = Scoring::bench_scaled();
+
+    println!(
+        "Figure 7: speedup over sequential LASTZ (scale 1/{}, ≤{} seeds/pair)\n",
+        opts.scale.divisor, opts.max_anchors
+    );
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "base-Pas",
+        "base-Vol",
+        "base-Amp",
+        "multicore32",
+        "FastZ-Pas",
+        "FastZ-Vol",
+        "FastZ-Amp",
+    ]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    for pair in within_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        let wl = PairWorkload::build(&pair, &opts);
+        let eval = evaluate_pair(&wl, &scoring);
+        let vals = [
+            eval.baseline_speedup(0),
+            eval.baseline_speedup(1),
+            eval.baseline_speedup(2),
+            eval.multicore_speedup(),
+            eval.fastz_speedup(0),
+            eval.fastz_speedup(1),
+            eval.fastz_speedup(2),
+        ];
+        for (c, v) in vals.iter().enumerate() {
+            cols[c].push(*v);
+        }
+        let mut row = vec![pair.label.to_string()];
+        row.extend(vals.iter().map(|v| speedup(*v)));
+        t.row(row);
+        if opts.verbose {
+            eprintln!(
+                "{}: seq model {:.3}s (measured Rust engine {:.3}s, {} cells), \
+                 FastZ Ampere modeled {:.5}s, host sim {:.1}s",
+                eval.label,
+                eval.seq_model_s,
+                eval.seq_wall_s,
+                eval.seq_cells,
+                eval.fastz_s[2],
+                eval.fastz.host_wall.as_secs_f64()
+            );
+        }
+    }
+    if t.is_empty() {
+        eprintln!("no pairs selected");
+        return;
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    mean_row.extend(cols.iter().map(|c| speedup(mean(c))));
+    t.row(mean_row);
+    t.print();
+
+    println!(
+        "\npaper means: GPU baseline 0.57-0.82x (18-43% slowdowns), multicore 20x,\n\
+         FastZ 43x (Pascal), 93x (Volta), 111x (Ampere)."
+    );
+}

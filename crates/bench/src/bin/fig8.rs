@@ -1,0 +1,50 @@
+//! Figure 8: execution-time breakdown of FastZ on the Ampere GPU.
+//!
+//! For each within-genus benchmark, attributes FastZ's modeled time to
+//! *inspector*, *executor*, and *other* (host prep, transfers, binning).
+//! The paper's shape: inspector ≈ two-thirds (up to 79 %), executor
+//! ≈ 10 %, other the remainder; benchmarks with fewer long (bin-4)
+//! alignments spend relatively less in inspector/executor.
+
+use fastz_bench::{evaluate_pair, HarnessOpts, PairWorkload, Table};
+use fastz_genome::{within_genus_pairs, Scoring};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let scoring = Scoring::bench_scaled();
+
+    println!(
+        "Figure 8: FastZ execution-time breakdown on Ampere (scale 1/{})\n",
+        opts.scale.divisor
+    );
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "total (ms)",
+        "inspector",
+        "executor",
+        "other",
+        "bin4",
+    ]);
+    for pair in within_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        let wl = PairWorkload::build(&pair, &opts);
+        let eval = evaluate_pair(&wl, &scoring);
+        let tl = &eval.fastz.timeline;
+        t.row(vec![
+            pair.label.to_string(),
+            format!("{:.3}", tl.total() * 1e3),
+            format!("{:.1}%", 100.0 * tl.fraction("inspector")),
+            format!("{:.1}%", 100.0 * tl.fraction("executor")),
+            format!("{:.1}%", 100.0 * tl.fraction("other")),
+            eval.fastz.bin_counts.bins[3].to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: inspector ~2/3 (up to 79%), executor ~10%, other the rest;\n\
+         lower bin-4 counts shrink the inspector/executor components."
+    );
+}

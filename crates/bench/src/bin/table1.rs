@@ -1,0 +1,57 @@
+//! Table 1 + Figures 6/10: the genome inventory, the benchmark pairs,
+//! and the synthetic sizes generated at the selected scale.
+
+use fastz_bench::{HarnessOpts, Table};
+use fastz_genome::{catalog, generate_pair};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+
+    println!("Table 1: genomes (real sizes from the paper)\n");
+    let mut t = Table::new(&["group", "species (chromosome)", "basepairs"]);
+    for (group, species, bp) in catalog::table1_genomes() {
+        t.row(vec![group.to_string(), species.to_string(), bp.to_string()]);
+    }
+    t.print();
+
+    println!("\nFigure 6: within-genus pairs (synthetic at 1/{} scale)\n", opts.scale.divisor);
+    let mut t = Table::new(&[
+        "pair", "target", "query", "real t-bp", "real q-bp", "synthetic t-bp", "synthetic q-bp",
+        "planted segs",
+    ]);
+    for pair in catalog::within_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        let params = pair.pair_params(opts.scale);
+        let generated = generate_pair(&params);
+        t.row(vec![
+            pair.label.to_string(),
+            pair.target_desc.to_string(),
+            pair.query_desc.to_string(),
+            pair.target_bp.to_string(),
+            pair.query_bp.to_string(),
+            generated.target.len().to_string(),
+            generated.query.len().to_string(),
+            generated.truth.len().to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nFigure 10: cross-genus pairs (synthetic at 1/{} scale)\n", opts.scale.divisor);
+    let mut t = Table::new(&["pair", "target", "query", "synthetic t-bp", "synthetic q-bp"]);
+    for pair in catalog::cross_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        let generated = generate_pair(&pair.pair_params(opts.scale));
+        t.row(vec![
+            pair.label.to_string(),
+            pair.target_desc.to_string(),
+            pair.query_desc.to_string(),
+            generated.target.len().to_string(),
+            generated.query.len().to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,62 @@
+//! Table 2: alignment-length distribution of the benchmark seeds.
+//!
+//! For each within-genus pair, runs the FastZ inspector over the seed
+//! workload and classifies every seed by its optimal-alignment extent:
+//! eager traceback (≤16 bp) or load-balancing bins 1-4
+//! (≤512/2048/8192/32768). The paper's row shape: 75-80 % eager, most of
+//! the rest in bin 1, thin decreasing bins 2-4, ordered by bin-4 count.
+
+use fastz_bench::{evaluate_pair, HarnessOpts, PairWorkload, Table};
+use fastz_genome::{within_genus_pairs, Scoring};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let scoring = Scoring::bench_scaled();
+
+    println!(
+        "Table 2: alignment length distribution ({} scale, ≤{} seeds/pair)\n",
+        match opts.scale.divisor {
+            500 => "test",
+            100 => "bench",
+            20 => "large",
+            _ => "custom",
+        },
+        opts.max_anchors
+    );
+
+    let mut t = Table::new(&[
+        "benchmark", "seeds", "eager-tb", "bin1", "bin2", "bin3", "bin4", "eager%",
+    ]);
+    for pair in within_genus_pairs() {
+        if !opts.selects(pair.label) {
+            continue;
+        }
+        let wl = PairWorkload::build(&pair, &opts);
+        let eval = evaluate_pair(&wl, &scoring);
+        let b = &eval.fastz.bin_counts;
+        t.row(vec![
+            pair.label.to_string(),
+            b.total().to_string(),
+            b.eager.to_string(),
+            b.bins[0].to_string(),
+            b.bins[1].to_string(),
+            b.bins[2].to_string(),
+            b.bins[3].to_string(),
+            format!("{:.1}%", 100.0 * b.eager_fraction()),
+        ]);
+        if opts.verbose {
+            eprintln!(
+                "{}: {} overflow, seq cells {}, {} alignments",
+                pair.label,
+                b.overflow,
+                eval.seq_cells,
+                eval.fastz.alignments.len()
+            );
+        }
+    }
+    t.print();
+    println!(
+        "\npaper (per 1M seeds): eager 757k-820k (75-80%), bin1 180k-241k,\n\
+         bin2 13-1225, bin3 1-208, bin4 0-25, ordered by decreasing bin4."
+    );
+}

@@ -1,0 +1,210 @@
+//! Per-pair evaluation shared by the figure harnesses.
+//!
+//! One [`evaluate_pair`] call produces everything Figures 7/8/9/11 and
+//! Table 2 need for a benchmark pair: the sequential-LASTZ reference run
+//! (measured cells + modeled time), the modeled multicore and GPU-baseline
+//! times, and a functional FastZ run re-priced on all three paper GPUs.
+
+use crate::opts::HarnessOpts;
+use fastz_align::{sequential_gapped, DriverConfig, ExtensionRecord};
+use fastz_core::{baseline_total_time, run_fastz, FastZConfig, FastZReport, OptFlags};
+use fastz_genome::{generate_pair, CatalogPair, Scoring, Sequence};
+use fastz_gpu_sim::{CpuModel, DeviceSpec};
+use fastz_seed::{Anchor, Workload, WorkloadParams};
+
+/// A generated pair plus its seed workload.
+pub struct PairWorkload {
+    /// Catalog entry.
+    pub pair: CatalogPair,
+    /// Target sequence.
+    pub target: Sequence,
+    /// Query sequence.
+    pub query: Sequence,
+    /// Filtered, budgeted anchors.
+    pub anchors: Vec<Anchor>,
+    /// Seed span in bp.
+    pub seed_span: usize,
+}
+
+impl PairWorkload {
+    /// Generates the pair and builds its workload under `opts`.
+    pub fn build(pair: &CatalogPair, opts: &HarnessOpts) -> PairWorkload {
+        let generated = generate_pair(&pair.pair_params(opts.scale));
+        let wl = Workload::build(
+            &generated.target,
+            &generated.query,
+            &WorkloadParams {
+                max_anchors: opts.max_anchors,
+                ..WorkloadParams::default()
+            },
+        );
+        PairWorkload {
+            pair: pair.clone(),
+            target: generated.target,
+            query: generated.query,
+            seed_span: wl.shape.span(),
+            anchors: wl.anchors,
+        }
+    }
+}
+
+/// Everything the figures need for one pair.
+pub struct PairEval {
+    /// Pair label.
+    pub label: String,
+    /// Anchor count used.
+    pub seeds: usize,
+    /// Sequential LASTZ: total DP cells (with work reduction).
+    pub seq_cells: u64,
+    /// Sequential LASTZ: modeled time (CPU model).
+    pub seq_model_s: f64,
+    /// Sequential LASTZ: measured wall-clock of our Rust engine.
+    pub seq_wall_s: f64,
+    /// Modeled 32-worker multicore time.
+    pub multicore_s: f64,
+    /// Modeled Feng-baseline time per GPU (Pascal, Volta, Ampere).
+    pub baseline_s: [f64; 3],
+    /// Modeled FastZ time per GPU (Pascal, Volta, Ampere).
+    pub fastz_s: [f64; 3],
+    /// The FastZ functional report (Ampere timing inside).
+    pub fastz: FastZReport,
+    /// Per-seed records from the sequential run.
+    pub records: Vec<ExtensionRecord>,
+}
+
+impl PairEval {
+    /// Speedup of FastZ on GPU `g` (0=Pascal, 1=Volta, 2=Ampere).
+    pub fn fastz_speedup(&self, g: usize) -> f64 {
+        self.seq_model_s / self.fastz_s[g]
+    }
+
+    /// Speedup (usually < 1) of the Feng baseline on GPU `g`.
+    pub fn baseline_speedup(&self, g: usize) -> f64 {
+        self.seq_model_s / self.baseline_s[g]
+    }
+
+    /// Speedup of the modeled 32-worker multicore run.
+    pub fn multicore_speedup(&self) -> f64 {
+        self.seq_model_s / self.multicore_s
+    }
+}
+
+/// The three paper GPUs in figure order.
+pub fn paper_gpus() -> [DeviceSpec; 3] {
+    [
+        DeviceSpec::titan_x_pascal(),
+        DeviceSpec::qv100_volta(),
+        DeviceSpec::rtx3080_ampere(),
+    ]
+}
+
+/// Splits per-anchor cells into `workers` round-robin partitions (the
+/// multicore driver interleaves seeds so hot regions spread across
+/// processes) and returns per-worker totals.
+pub fn partition_cells(records: &[ExtensionRecord], workers: usize) -> Vec<u64> {
+    let mut parts = vec![0u64; workers.max(1)];
+    for (i, r) in records.iter().enumerate() {
+        parts[i % workers.max(1)] += r.cells;
+    }
+    parts
+}
+
+/// Evaluates one pair end to end.
+pub fn evaluate_pair(wl: &PairWorkload, scoring: &Scoring) -> PairEval {
+    // Sequential LASTZ reference (with its sequential work reduction).
+    let seq_cfg = DriverConfig {
+        record_extensions: true,
+        ..DriverConfig::gapped(scoring.clone())
+    };
+    let seq = sequential_gapped(&wl.target, &wl.query, &wl.anchors, wl.seed_span, &seq_cfg);
+
+    let cpu = CpuModel::ryzen_3950x();
+    let seq_model_s = cpu.sequential_time(seq.stats.total_cells);
+    let multicore_s = cpu.multicore_time(&partition_cells(&seq.records, 32));
+
+    // Feng GPU baseline: per-side search statistics from the same run.
+    let side_stats: Vec<fastz_align::ExtensionStats> = seq
+        .records
+        .iter()
+        .flat_map(|r| [r.left_stats, r.right_stats])
+        .collect();
+    let gpus = paper_gpus();
+    let baseline_s = [
+        baseline_total_time(&gpus[0], &side_stats),
+        baseline_total_time(&gpus[1], &side_stats),
+        baseline_total_time(&gpus[2], &side_stats),
+    ];
+
+    // FastZ: one functional run, re-priced per device.
+    let fz_cfg = FastZConfig {
+        flags: OptFlags::fastz(),
+        ..FastZConfig::new(scoring.clone(), gpus[2].clone())
+    };
+    let fastz = run_fastz(&wl.target, &wl.query, &wl.anchors, wl.seed_span, &fz_cfg);
+    let fastz_s = [
+        fastz.retime(&gpus[0], fz_cfg.flags.streams).total(),
+        fastz.retime(&gpus[1], fz_cfg.flags.streams).total(),
+        fastz.modeled_time_s,
+    ];
+
+    PairEval {
+        label: wl.pair.label.to_string(),
+        seeds: wl.anchors.len(),
+        seq_cells: seq.stats.total_cells,
+        seq_model_s,
+        seq_wall_s: seq.stats.wall_time.as_secs_f64(),
+        multicore_s,
+        baseline_s,
+        fastz_s,
+        fastz,
+        records: seq.records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::{within_genus_pairs, Scale};
+
+    #[test]
+    fn evaluate_smallest_pair() {
+        let opts = HarnessOpts {
+            scale: Scale::TEST,
+            max_anchors: 400,
+            ..HarnessOpts::default()
+        };
+        let pair = &within_genus_pairs()[8]; // D1: no huge segments, fastest
+        let wl = PairWorkload::build(pair, &opts);
+        assert!(!wl.anchors.is_empty());
+        let eval = evaluate_pair(&wl, &Scoring::bench_scaled());
+        assert!(eval.seq_cells > 0);
+        assert!(eval.seq_model_s > 0.0);
+        // Shape invariants at unit-test scale (the fixed host-side
+        // "other" cost dominates tiny workloads, so absolute speedup
+        // ordering vs the multicore model is asserted at bench scale by
+        // the fig7 harness): FastZ beats sequential on its GPU phases,
+        // multicore beats sequential, and the Feng baseline never beats
+        // FastZ.
+        let fz_gpu_only = eval.seq_model_s
+            / (eval.fastz_s[2] - eval.fastz.other_s).max(1e-12);
+        assert!(fz_gpu_only > 5.0, "gpu-only {fz_gpu_only}");
+        assert!(eval.fastz_speedup(2) > 1.0);
+        assert!(eval.multicore_speedup() > 1.0);
+        assert!(eval.baseline_speedup(2) < eval.fastz_speedup(2));
+    }
+
+    #[test]
+    fn partition_cells_sums_preserved() {
+        let opts = HarnessOpts {
+            scale: Scale::TEST,
+            max_anchors: 200,
+            ..HarnessOpts::default()
+        };
+        let wl = PairWorkload::build(&within_genus_pairs()[8], &opts);
+        let eval = evaluate_pair(&wl, &Scoring::bench_scaled());
+        let parts = partition_cells(&eval.records, 8);
+        let total: u64 = parts.iter().sum();
+        let expect: u64 = eval.records.iter().map(|r| r.cells).sum();
+        assert_eq!(total, expect);
+    }
+}

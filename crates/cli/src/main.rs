@@ -1,0 +1,463 @@
+//! `fastz` — gapped whole-genome alignment from the command line.
+//!
+//! A drop-in-style front end over the FastZ pipeline: seeds two FASTA
+//! sequences, gapped-extends every filtered seed, and prints alignments.
+//!
+//! ```text
+//! fastz <target.fa> <query.fa> [options]
+//!
+//! options:
+//!   --engine fastz|lastz|multicore   extension engine (default fastz)
+//!   --device pascal|volta|ampere     GPU to model (default ampere)
+//!   --threads N                      multicore workers (default 16)
+//!   --seed exact19|12of19            seed shape (default 12of19)
+//!   --max-anchors N                  seed budget (default unlimited)
+//!   --scoring lastz|bench            scoring preset (default lastz)
+//!   --scores FILE                    LASTZ score file (overrides matrix/gaps)
+//!   --demo PAIR                      generate a synthetic catalog pair
+//!                                    (e.g. C1_1,1) instead of reading files
+//!   --both-strands                   also align the reverse complement
+//!   --format tsv|general|maf         output format (default tsv)
+//!   --emit-fasta PREFIX              write the (demo) inputs to
+//!                                    PREFIX.target.fa / PREFIX.query.fa and exit
+//!   --stats                          print pipeline statistics
+//! ```
+
+use fastz_align::{
+    multicore_gapped, sequential_gapped, write_general, write_maf, Alignment, DriverConfig,
+};
+use fastz_core::{run_fastz, FastZConfig};
+use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
+use fastz_gpu_sim::DeviceSpec;
+use fastz_seed::{SeedShape, Workload, WorkloadParams};
+use std::process::ExitCode;
+
+struct Options {
+    target: Option<String>,
+    query: Option<String>,
+    engine: String,
+    device: String,
+    threads: usize,
+    seed: String,
+    max_anchors: usize,
+    scoring: String,
+    demo: Option<String>,
+    scores: Option<String>,
+    stats: bool,
+    both_strands: bool,
+    format: String,
+    emit_fasta: Option<String>,
+}
+
+impl Options {
+    fn usage() -> &'static str {
+        "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
+         [--device pascal|volta|ampere] [--threads N] [--seed exact19|12of19] \
+         [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] [--stats]"
+    }
+
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            target: None,
+            query: None,
+            engine: "fastz".into(),
+            device: "ampere".into(),
+            threads: 16,
+            seed: "12of19".into(),
+            max_anchors: 0,
+            scoring: "lastz".into(),
+            demo: None,
+            scores: None,
+            stats: false,
+            both_strands: false,
+            format: "tsv".into(),
+            emit_fasta: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--engine" => opts.engine = grab("--engine")?,
+                "--device" => opts.device = grab("--device")?,
+                "--threads" => {
+                    opts.threads = grab("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads must be a number".to_string())?
+                }
+                "--seed" => opts.seed = grab("--seed")?,
+                "--max-anchors" => {
+                    opts.max_anchors = grab("--max-anchors")?
+                        .parse()
+                        .map_err(|_| "--max-anchors must be a number".to_string())?
+                }
+                "--scoring" => opts.scoring = grab("--scoring")?,
+                "--demo" => opts.demo = Some(grab("--demo")?),
+                "--scores" => opts.scores = Some(grab("--scores")?),
+                "--stats" => opts.stats = true,
+                "--both-strands" => opts.both_strands = true,
+                "--format" => opts.format = grab("--format")?,
+                "--emit-fasta" => opts.emit_fasta = Some(grab("--emit-fasta")?),
+                "--help" | "-h" => return Err(Options::usage().to_string()),
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option {other}\n{}", Options::usage()))
+                }
+                path => {
+                    if opts.target.is_none() {
+                        opts.target = Some(path.to_string());
+                    } else if opts.query.is_none() {
+                        opts.query = Some(path.to_string());
+                    } else {
+                        return Err(format!("unexpected argument {path}"));
+                    }
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn load_inputs(opts: &Options) -> Result<(Sequence, Sequence), String> {
+    if let Some(label) = &opts.demo {
+        let pair = find_pair(label).ok_or_else(|| format!("unknown catalog pair {label}"))?;
+        let generated = generate_pair(&pair.pair_params(Scale::BENCH));
+        return Ok((generated.target, generated.query));
+    }
+    let (Some(tp), Some(qp)) = (&opts.target, &opts.query) else {
+        return Err(Options::usage().to_string());
+    };
+    let mut t = read_fasta_file(tp).map_err(|e| format!("{tp}: {e}"))?;
+    let mut q = read_fasta_file(qp).map_err(|e| format!("{qp}: {e}"))?;
+    let target = t.drain(..).next().ok_or_else(|| format!("{tp}: no records"))?;
+    let query = q.drain(..).next().ok_or_else(|| format!("{qp}: no records"))?;
+    Ok((target, query))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (target, query) = match load_inputs(&opts) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("fastz: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(prefix) = &opts.emit_fasta {
+        let tp = format!("{prefix}.target.fa");
+        let qp = format!("{prefix}.query.fa");
+        if let Err(e) = fastz_genome::write_fasta_file(&tp, std::slice::from_ref(&target))
+            .and_then(|_| fastz_genome::write_fasta_file(&qp, std::slice::from_ref(&query)))
+        {
+            eprintln!("fastz: writing fasta: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fastz: wrote {tp} ({} bp) and {qp} ({} bp)", target.len(), query.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut scoring = match scoring_preset(&opts.scoring) {
+        Some(s) => s,
+        None => {
+            eprintln!("fastz: unknown scoring preset {}", opts.scoring);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &opts.scores {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fastz: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        scoring = match fastz_genome::parse_score_file(&text, &scoring) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fastz: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("fastz: scores loaded from {path}");
+    }
+    let shape = match opts.seed.as_str() {
+        "exact19" => SeedShape::exact(19),
+        "12of19" => SeedShape::lastz_12of19(),
+        other => {
+            eprintln!("fastz: unknown seed shape {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "fastz: target {} ({} bp), query {} ({} bp)",
+        target.name(),
+        target.len(),
+        query.name(),
+        query.len()
+    );
+
+    let workload = Workload::build(
+        &target,
+        &query,
+        &WorkloadParams {
+            shape,
+            max_anchors: opts.max_anchors,
+            ..WorkloadParams::default()
+        },
+    );
+    eprintln!(
+        "fastz: {} raw anchors, {} after filtering, {} extended",
+        workload.raw_anchors,
+        workload.filtered_anchors,
+        workload.len()
+    );
+    let span = workload.shape.span();
+
+    let scoring_for_minus = scoring.clone();
+    let alignments = match opts.engine.as_str() {
+        "lastz" => {
+            let report = sequential_gapped(
+                &target,
+                &query,
+                &workload.anchors,
+                span,
+                &DriverConfig::gapped(scoring),
+            );
+            eprintln!(
+                "fastz: sequential engine, {} cells, {:.3} s",
+                report.stats.total_cells,
+                report.stats.wall_time.as_secs_f64()
+            );
+            report.alignments
+        }
+        "multicore" => {
+            let report = multicore_gapped(
+                &target,
+                &query,
+                &workload.anchors,
+                span,
+                &DriverConfig::gapped(scoring),
+                opts.threads,
+            );
+            eprintln!(
+                "fastz: multicore engine ({} workers), {} cells, {:.3} s",
+                opts.threads,
+                report.stats.total_cells,
+                report.stats.wall_time.as_secs_f64()
+            );
+            report.alignments
+        }
+        "fastz" => {
+            let device = match opts.device.as_str() {
+                "pascal" => DeviceSpec::titan_x_pascal(),
+                "volta" => DeviceSpec::qv100_volta(),
+                "ampere" => DeviceSpec::rtx3080_ampere(),
+                other => {
+                    eprintln!("fastz: unknown device {other}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = FastZConfig::new(scoring, device);
+            let report = run_fastz(&target, &query, &workload.anchors, span, &cfg);
+            eprintln!(
+                "fastz: GPU pipeline on {} — modeled {:.4} s, simulated in {:.3} s host time",
+                cfg.device.name,
+                report.modeled_time_s,
+                report.host_wall.as_secs_f64()
+            );
+            if opts.stats {
+                eprintln!(
+                    "fastz: {} seeds; eager {}, executor {}; bins {:?} (+{} eager, {} overflow)",
+                    report.stats.seeds,
+                    report.stats.eager_resolved,
+                    report.stats.executor_problems,
+                    report.bin_counts.bins,
+                    report.bin_counts.eager,
+                    report.bin_counts.overflow,
+                );
+                eprint!("{}", report.timeline);
+            }
+            report.alignments
+        }
+        other => {
+            eprintln!("fastz: unknown engine {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    emit(&alignments, &target, &query, '+', &opts);
+    let mut total = alignments.len();
+
+    // Minus strand: re-run the chosen engine against the reverse
+    // complement and report coordinates on the rc (strand column `-`).
+    if opts.both_strands {
+        let rc = query.reverse_complement();
+        let wl = Workload::build(
+            &target,
+            &rc,
+            &WorkloadParams {
+                max_anchors: opts.max_anchors,
+                ..WorkloadParams::default()
+            },
+        );
+        eprintln!("fastz: minus strand, {} anchors", wl.len());
+        let minus = match opts.engine.as_str() {
+            "lastz" => {
+                sequential_gapped(
+                    &target,
+                    &rc,
+                    &wl.anchors,
+                    wl.shape.span(),
+                    &DriverConfig::gapped(scoring_for_minus.clone()),
+                )
+                .alignments
+            }
+            "multicore" => {
+                multicore_gapped(
+                    &target,
+                    &rc,
+                    &wl.anchors,
+                    wl.shape.span(),
+                    &DriverConfig::gapped(scoring_for_minus.clone()),
+                    opts.threads,
+                )
+                .alignments
+            }
+            _ => {
+                let cfg = FastZConfig::new(
+                    scoring_for_minus.clone(),
+                    DeviceSpec::rtx3080_ampere(),
+                );
+                run_fastz(&target, &rc, &wl.anchors, wl.shape.span(), &cfg).alignments
+            }
+        };
+        emit(&minus, &target, &rc, '-', &opts);
+        total += minus.len();
+    }
+    eprintln!("fastz: {total} alignments");
+    ExitCode::SUCCESS
+}
+
+fn scoring_preset(name: &str) -> Option<Scoring> {
+    match name {
+        "lastz" => Some(Scoring::lastz_default()),
+        "bench" => Some(Scoring::bench_scaled()),
+        _ => None,
+    }
+}
+
+/// Writes alignments in the selected format; `strand` marks the query
+/// strand (coordinates refer to the sequence actually aligned).
+fn emit(alignments: &[Alignment], target: &Sequence, query: &Sequence, strand: char, opts: &Options) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    use std::io::Write;
+    match opts.format.as_str() {
+        "maf" => write_maf(&mut out, alignments, target, query).expect("write maf"),
+        "general" => {
+            write_general(&mut out, alignments, target, query).expect("write general")
+        }
+        _ => {
+            writeln!(out, "#score\ttname\ttstart\ttend\tqname\tqstart\tqend\tstrand\tcigar")
+                .unwrap();
+            for a in alignments {
+                writeln!(
+                    out,
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    a.score,
+                    target.name(),
+                    a.target_start,
+                    a.target_end,
+                    query.name(),
+                    a.query_start,
+                    a.query_end,
+                    strand,
+                    a.cigar()
+                )
+                .unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.engine, "fastz");
+        assert_eq!(o.device, "ampere");
+        assert_eq!(o.threads, 16);
+        assert_eq!(o.format, "tsv");
+        assert!(!o.both_strands);
+        assert!(o.target.is_none());
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let o = Options::parse(&sv(&[
+            "t.fa", "q.fa", "--engine", "lastz", "--threads", "8", "--both-strands",
+            "--format", "maf", "--max-anchors", "500",
+        ]))
+        .unwrap();
+        assert_eq!(o.target.as_deref(), Some("t.fa"));
+        assert_eq!(o.query.as_deref(), Some("q.fa"));
+        assert_eq!(o.engine, "lastz");
+        assert_eq!(o.threads, 8);
+        assert!(o.both_strands);
+        assert_eq!(o.format, "maf");
+        assert_eq!(o.max_anchors, 500);
+    }
+
+    #[test]
+    fn demo_and_emit() {
+        let o = Options::parse(&sv(&["--demo", "C1_1,1", "--emit-fasta", "out"])).unwrap();
+        assert_eq!(o.demo.as_deref(), Some("C1_1,1"));
+        assert_eq!(o.emit_fasta.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Options::parse(&sv(&["--engine"])).is_err());
+        assert!(Options::parse(&sv(&["--threads", "abc"])).is_err());
+        assert!(Options::parse(&sv(&["--bogus"])).is_err());
+        assert!(Options::parse(&sv(&["a", "b", "c"])).is_err());
+        assert!(Options::parse(&sv(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn scoring_presets() {
+        assert!(scoring_preset("lastz").is_some());
+        assert!(scoring_preset("bench").is_some());
+        assert!(scoring_preset("nope").is_none());
+        assert_eq!(scoring_preset("lastz").unwrap().ydrop, 9400);
+    }
+
+    #[test]
+    fn demo_inputs_load() {
+        let o = Options::parse(&sv(&["--demo", "D1_2R,2"])).unwrap();
+        let (t, q) = load_inputs(&o).unwrap();
+        assert!(t.len() > 100_000);
+        assert!(q.len() > 100_000);
+        let bad = Options::parse(&sv(&["--demo", "NOPE"])).unwrap();
+        assert!(load_inputs(&bad).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Optimization flags for the Figure 9 ablation study.
+//!
+//! The paper evaluates FastZ by *progressively adding* optimizations to a
+//! base configuration (inspector-executor + lightweight inspector +
+//! length-binned load balancing). Each [`OptFlags`] preset corresponds to
+//! one bar of Figure 9.
+
+/// Which FastZ optimizations are active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptFlags {
+    /// Cyclic use-and-discard register buffering (§3.2). Off: every lane
+    /// round-trips its S/I/D scores through global memory.
+    pub cyclic_buffers: bool,
+    /// Eager traceback for ≤16×16 alignments in the inspector (§3.1.2).
+    pub eager_traceback: bool,
+    /// Executor trimming to the inspector-reported optimal cell (§3.1.3).
+    /// Off: the executor recomputes the full search space with traceback.
+    pub executor_trimming: bool,
+    /// Number of CUDA streams (§3.4); 1 disables overlap.
+    pub streams: usize,
+}
+
+impl OptFlags {
+    /// Figure 9 base: inspector-executor with load balancing only.
+    pub fn base() -> OptFlags {
+        OptFlags {
+            cyclic_buffers: false,
+            eager_traceback: false,
+            executor_trimming: false,
+            streams: 32,
+        }
+    }
+
+    /// Base + cyclic use-and-discard buffers.
+    pub fn with_cyclic() -> OptFlags {
+        OptFlags {
+            cyclic_buffers: true,
+            ..OptFlags::base()
+        }
+    }
+
+    /// Base + cyclic + eager traceback.
+    pub fn with_eager() -> OptFlags {
+        OptFlags {
+            eager_traceback: true,
+            ..OptFlags::with_cyclic()
+        }
+    }
+
+    /// All optimizations: FastZ (base + cyclic + eager + trimming).
+    pub fn fastz() -> OptFlags {
+        OptFlags {
+            executor_trimming: true,
+            ..OptFlags::with_eager()
+        }
+    }
+
+    /// FastZ restricted to a single stream (Figure 9's last bar).
+    pub fn fastz_single_stream() -> OptFlags {
+        OptFlags {
+            streams: 1,
+            ..OptFlags::fastz()
+        }
+    }
+
+    /// The Figure 9 progression in plot order, with labels.
+    pub fn figure9_progression() -> Vec<(&'static str, OptFlags)> {
+        vec![
+            ("insp-exec+loadbal", OptFlags::base()),
+            ("+cyclic", OptFlags::with_cyclic()),
+            ("+eager-tb", OptFlags::with_eager()),
+            ("+trim (FastZ)", OptFlags::fastz()),
+            ("FastZ-single-stream", OptFlags::fastz_single_stream()),
+        ]
+    }
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags::fastz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progression_is_monotone_in_enabled_optimizations() {
+        let steps = OptFlags::figure9_progression();
+        assert_eq!(steps.len(), 5);
+        let count = |f: &OptFlags| {
+            [f.cyclic_buffers, f.eager_traceback, f.executor_trimming]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        for w in steps.windows(2).take(3) {
+            assert_eq!(count(&w[1].1), count(&w[0].1) + 1, "{}", w[1].0);
+        }
+        // Last bar differs only in stream count.
+        assert_eq!(
+            OptFlags {
+                streams: 1,
+                ..steps[3].1
+            },
+            steps[4].1
+        );
+    }
+
+    #[test]
+    fn default_is_full_fastz() {
+        let f = OptFlags::default();
+        assert!(f.cyclic_buffers && f.eager_traceback && f.executor_trimming);
+        assert_eq!(f.streams, 32);
+    }
+}

@@ -1,0 +1,150 @@
+//! Alignment-length binning (paper §3.3 and Table 2).
+//!
+//! The executor groups surviving seed extensions into four size bins
+//! (512 / 2048 / 8192 / 32768) and launches one kernel per bin, so that
+//! long and short alignments never share a bulk-synchronous kernel.
+//! Alignments of 16 bp or less never reach the executor at all (eager
+//! traceback); Table 2 reports exactly this classification over the
+//! benchmark seeds.
+
+/// The eager-traceback boundary: alignments whose optimal cell lies
+/// within a 16×16 window finish in the inspector.
+pub const EAGER_BOUND: usize = 16;
+
+/// Executor bin upper bounds (inclusive), paper §3.3.
+pub const BIN_BOUNDS: [usize; 4] = [512, 2048, 8192, 32768];
+
+/// Classification of one seed extension by its optimal-alignment extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinClass {
+    /// ≤ 16 bp: handled by eager traceback.
+    Eager,
+    /// Executor bin `0..=3` (≤512, ≤2048, ≤8192, ≤32768).
+    Bin(usize),
+    /// Larger than the largest bin (the paper's benchmarks never need
+    /// this; ours keeps it explicit instead of silently clamping).
+    Overflow,
+}
+
+/// Classifies an optimal-alignment extent (the larger of the two
+/// sequence extents, per §3.3's "smallest bin in which the alignment is
+/// contained").
+pub fn classify(extent: usize) -> BinClass {
+    if extent <= EAGER_BOUND {
+        return BinClass::Eager;
+    }
+    for (idx, &bound) in BIN_BOUNDS.iter().enumerate() {
+        if extent <= bound {
+            return BinClass::Bin(idx);
+        }
+    }
+    BinClass::Overflow
+}
+
+/// The matrix dimension the executor allocates for a bin (its upper
+/// bound; precise per-bin allocation is the point of §3.1.3).
+pub fn bin_allocation(class: BinClass) -> usize {
+    match class {
+        BinClass::Eager => EAGER_BOUND,
+        BinClass::Bin(i) => BIN_BOUNDS[i],
+        BinClass::Overflow => BIN_BOUNDS[BIN_BOUNDS.len() - 1] * 4, // §3.3: 4× scaling
+    }
+}
+
+/// Table 2-style counts of seed extensions per class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BinCounts {
+    /// Seeds finished by eager traceback (≤ 16 bp).
+    pub eager: usize,
+    /// Seeds per executor bin.
+    pub bins: [usize; 4],
+    /// Seeds exceeding the largest bin.
+    pub overflow: usize,
+}
+
+impl BinCounts {
+    /// Records one seed's classification.
+    pub fn record(&mut self, class: BinClass) {
+        match class {
+            BinClass::Eager => self.eager += 1,
+            BinClass::Bin(i) => self.bins[i] += 1,
+            BinClass::Overflow => self.overflow += 1,
+        }
+    }
+
+    /// Total seeds recorded.
+    pub fn total(&self) -> usize {
+        self.eager + self.bins.iter().sum::<usize>() + self.overflow
+    }
+
+    /// Fraction of seeds in the eager class (the paper's 75-80 %).
+    pub fn eager_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.eager as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify(0), BinClass::Eager);
+        assert_eq!(classify(16), BinClass::Eager);
+        assert_eq!(classify(17), BinClass::Bin(0));
+        assert_eq!(classify(512), BinClass::Bin(0));
+        assert_eq!(classify(513), BinClass::Bin(1));
+        assert_eq!(classify(2048), BinClass::Bin(1));
+        assert_eq!(classify(2049), BinClass::Bin(2));
+        assert_eq!(classify(8192), BinClass::Bin(2));
+        assert_eq!(classify(8193), BinClass::Bin(3));
+        assert_eq!(classify(32768), BinClass::Bin(3));
+        assert_eq!(classify(32769), BinClass::Overflow);
+    }
+
+    #[test]
+    fn bins_scale_by_4x() {
+        // §3.3: bin boundaries use a 4× scaling factor.
+        for w in BIN_BOUNDS.windows(2) {
+            assert_eq!(w[1], w[0] * 4);
+        }
+        assert_eq!(bin_allocation(BinClass::Overflow), 32768 * 4);
+    }
+
+    #[test]
+    fn allocation_covers_class() {
+        for extent in [1, 16, 17, 100, 513, 5000, 9000, 32768] {
+            let class = classify(extent);
+            assert!(bin_allocation(class) >= extent, "extent {extent}");
+        }
+    }
+
+    #[test]
+    fn counts_partition_totality() {
+        let mut c = BinCounts::default();
+        for extent in 0..40_000 {
+            c.record(classify(extent));
+        }
+        assert_eq!(c.total(), 40_000);
+        assert_eq!(c.eager, 17);
+        assert_eq!(c.bins[0], 512 - 16);
+        assert_eq!(c.overflow, 40_000 - 32_769);
+    }
+
+    #[test]
+    fn eager_fraction_math() {
+        let mut c = BinCounts::default();
+        for _ in 0..80 {
+            c.record(BinClass::Eager);
+        }
+        for _ in 0..20 {
+            c.record(BinClass::Bin(0));
+        }
+        assert!((c.eager_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(BinCounts::default().eager_fraction(), 0.0);
+    }
+}

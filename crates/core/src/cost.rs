@@ -1,0 +1,83 @@
+//! Translation of measured warp counters into timing-model tasks.
+//!
+//! One place defines how a warp task's measured work becomes cycles and
+//! DRAM bytes, so the inspector, executor, and ablation configurations
+//! all price work identically.
+
+use fastz_gpu_sim::model::{CYCLES_PER_STEP, TASK_SETUP_CYCLES};
+use fastz_gpu_sim::{WarpCounters, WarpTask};
+
+/// Cycles per traceback step: a single-lane pointer chase through the
+/// packed traceback (dependent byte load + decode per step, §3.1.3's
+/// "one thread of the same warp").
+pub const TB_WALK_CYCLES_PER_STEP: f64 = 8.0;
+
+/// Instruction overhead factor per wavefront step beyond the paper's
+/// 9-op recurrence count: three register shuffles, spill/boundary
+/// address arithmetic, predicate evaluation for the y-drop test, the
+/// traceback byte pack, and loop control. The §6 analysis counts only
+/// the recurrence operations; a real kernel issues roughly 4× that.
+pub const STEP_OVERHEAD_FACTOR: f64 = 4.0;
+
+/// Prices one inspector or executor DP task.
+///
+/// * compute: every wavefront step issues the recurrences' 23 derated
+///   instructions warp-wide, plus a fixed task setup;
+/// * memory: whatever global traffic the functional run recorded (score
+///   spills, traceback bytes) — the counters already reflect the
+///   cyclic-buffer and eager-traceback settings;
+/// * the traceback walk (scalar_ops) serializes on one lane.
+pub fn price_task(c: &WarpCounters) -> WarpTask {
+    let cycles = c.steps as f64 * CYCLES_PER_STEP * STEP_OVERHEAD_FACTOR
+        + c.scalar_ops as f64 * TB_WALK_CYCLES_PER_STEP
+        + TASK_SETUP_CYCLES;
+    WarpTask {
+        cycles,
+        dram_bytes: (c.global_read + c.global_written) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_is_linear_in_steps() {
+        let c1 = WarpCounters {
+            steps: 100,
+            ..WarpCounters::default()
+        };
+        let c2 = WarpCounters {
+            steps: 200,
+            ..WarpCounters::default()
+        };
+        let t1 = price_task(&c1).cycles - TASK_SETUP_CYCLES;
+        let t2 = price_task(&c2).cycles - TASK_SETUP_CYCLES;
+        assert!((t1 - 100.0 * CYCLES_PER_STEP * STEP_OVERHEAD_FACTOR).abs() < 1e-9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traceback_walk_adds_serial_cycles() {
+        let plain = WarpCounters {
+            steps: 100,
+            ..WarpCounters::default()
+        };
+        let with_walk = WarpCounters {
+            steps: 100,
+            scalar_ops: 500,
+            ..WarpCounters::default()
+        };
+        assert!(price_task(&with_walk).cycles > price_task(&plain).cycles);
+    }
+
+    #[test]
+    fn dram_bytes_pass_through() {
+        let c = WarpCounters {
+            global_read: 100,
+            global_written: 200,
+            ..WarpCounters::default()
+        };
+        assert_eq!(price_task(&c).dram_bytes, 300.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The GPU baseline: Xiao/Aji/Feng-style single-problem parallelization
+//! (paper §2.3, §4 "Baseline Configurations", and the barely-visible
+//! first three bars of Figure 7).
+//!
+//! The scheme parallelizes *one* Smith-Waterman DP at a time across the
+//! whole device: each anti-diagonal is partitioned over threadblocks
+//! (with the Fig. 4 layout transform for coalescing), scores stored to
+//! global memory (no cyclic register reuse), and a device-wide
+//! synchronization separates consecutive anti-diagonals. Seed extensions
+//! run back-to-back, each in its own kernel.
+//!
+//! With WGA's workload — millions of mostly tiny extensions — the
+//! per-diagonal grid sync and per-problem launch dominate, which is why
+//! the paper measures 18-43 % *slowdowns* versus sequential LASTZ.
+
+use fastz_align::ExtensionStats;
+use fastz_gpu_sim::model::CYCLES_PER_STEP;
+use fastz_gpu_sim::DeviceSpec;
+
+/// Latency between dependent anti-diagonals when the whole diagonal fits
+/// in one threadblock: `__syncthreads` plus the read-after-write latency
+/// of the scores just stored to global memory (no cyclic register reuse
+/// in this scheme, so every diagonal's inputs come back through L2).
+pub const BLOCK_SYNC_S: f64 = 5.0e-7;
+
+/// Threads per block in the baseline scheme (one diagonal cell each).
+pub const BLOCK_THREADS: usize = 1024;
+
+/// Modeled time for one seed-extension side under the baseline scheme,
+/// from the scalar engine's measured search-space statistics.
+pub fn baseline_problem_time(device: &DeviceSpec, stats: &ExtensionStats) -> f64 {
+    if stats.cells == 0 {
+        return device.launch_overhead_s;
+    }
+    let clock_hz = device.clock_ghz * 1e9;
+    // Anti-diagonals of the explored region.
+    let diagonals = (stats.rows + stats.max_cols).saturating_sub(1).max(1) as f64;
+    let mean_width = stats.cells as f64 / diagonals;
+    // Narrow problems run in one block (cheap __syncthreads per diagonal
+    // but a single SM); wide problems span blocks/SMs and pay the
+    // device-wide sync.
+    let blocks = (mean_width / BLOCK_THREADS as f64).ceil().max(1.0);
+    let sync = if blocks <= 1.0 {
+        BLOCK_SYNC_S
+    } else {
+        device.grid_sync_s
+    };
+    let warps_per_diag = (mean_width / 32.0).ceil().max(1.0);
+    let issue = blocks.min(device.sm_count as f64) * device.warp_issue_per_sm();
+    let compute_per_diag = CYCLES_PER_STEP * (warps_per_diag / issue).max(1.0) / clock_hz;
+    // Memory: no cyclic reuse — every cell round-trips 12 B of scores.
+    let bytes = stats.cells as f64 * 12.0;
+    let memory = bytes / (device.dram_bw_gbps * 1e9);
+    let compute = diagonals * (compute_per_diag + sync);
+    device.launch_overhead_s + compute.max(memory)
+}
+
+/// Total baseline time over a workload of per-side search statistics.
+pub fn baseline_total_time(device: &DeviceSpec, all_stats: &[ExtensionStats]) -> f64 {
+    all_stats
+        .iter()
+        .map(|s| baseline_problem_time(device, s))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::rtx3080_ampere()
+    }
+
+    #[test]
+    fn tiny_problem_is_dominated_by_sync_and_launch() {
+        // 3000 cells over 119 diagonals fits one block: per-diagonal
+        // block sync + the kernel launch dominate the trivial compute.
+        let stats = ExtensionStats {
+            cells: 3_000,
+            rows: 40,
+            max_cols: 80,
+        };
+        let t = baseline_problem_time(&dev(), &stats);
+        let overhead = dev().launch_overhead_s + 119.0 * BLOCK_SYNC_S;
+        assert!(t >= overhead * 0.9, "t={t}, overhead={overhead}");
+        // A wide problem pays the device-wide sync instead.
+        let wide = ExtensionStats {
+            cells: 40_000_000,
+            rows: 5_000,
+            max_cols: 11_000,
+        };
+        let tw = baseline_problem_time(&dev(), &wide);
+        assert!(tw >= 15_999.0 * dev().grid_sync_s);
+    }
+
+    #[test]
+    fn empty_problem_costs_a_launch() {
+        let t = baseline_problem_time(&dev(), &ExtensionStats::default());
+        assert_eq!(t, dev().launch_overhead_s);
+    }
+
+    #[test]
+    fn baseline_is_slower_than_a_cpu_core_on_small_problems() {
+        // The paper's headline: for the real workload mix the baseline
+        // LOSES to sequential LASTZ. A 3000-cell extension takes the CPU
+        // ~17 µs but costs the GPU baseline ~52 µs of launch + per-
+        // diagonal syncs.
+        let stats = ExtensionStats {
+            cells: 3_000,
+            rows: 40,
+            max_cols: 80,
+        };
+        let gpu = baseline_problem_time(&dev(), &stats);
+        let cpu = fastz_gpu_sim::CpuModel::ryzen_3950x().sequential_time(3_000);
+        assert!(
+            gpu > 2.0 * cpu,
+            "baseline {gpu} should be slower than cpu {cpu}"
+        );
+    }
+
+    #[test]
+    fn totals_sum() {
+        let s = ExtensionStats {
+            cells: 1000,
+            rows: 30,
+            max_cols: 40,
+        };
+        let one = baseline_problem_time(&dev(), &s);
+        let three = baseline_total_time(&dev(), &[s, s, s]);
+        assert!((three - 3.0 * one).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! The diagonal data-layout transformation (paper Fig. 4, after Xiao,
+//! Aji & Feng [38]).
+//!
+//! DP cells along an anti-diagonal are computed together by the lanes of
+//! a warp, but in the natural row-major layout those cells are strided by
+//! `row_len − 1`, so their memory accesses cannot coalesce. The transform
+//! `i' = i + j, j' = j` places each anti-diagonal in a contiguous row of
+//! the transformed matrix (at the cost of triangular padding at the
+//! corners). The warp engine uses this addressing for every spilled or
+//! stored value; this module exposes the mapping itself plus the padding
+//! arithmetic the paper mentions.
+
+/// The transformed coordinates of logical cell `(i, j)`.
+#[inline]
+pub fn to_diagonal(i: usize, j: usize) -> (usize, usize) {
+    (i + j, j)
+}
+
+/// The logical coordinates of transformed cell `(d, j)`;
+/// `None` if `d < j` (padding).
+#[inline]
+pub fn from_diagonal(d: usize, j: usize) -> Option<(usize, usize)> {
+    (d >= j).then(|| (d - j, j))
+}
+
+/// Shape of a transformed matrix for an `(rows × cols)` logical matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiagonalShape {
+    /// Logical rows (query extent + 1).
+    pub rows: usize,
+    /// Logical cols (target extent + 1).
+    pub cols: usize,
+}
+
+impl DiagonalShape {
+    /// Number of anti-diagonals (`rows + cols − 1`), i.e. transformed rows.
+    pub fn diagonals(&self) -> usize {
+        if self.rows == 0 || self.cols == 0 {
+            0
+        } else {
+            self.rows + self.cols - 1
+        }
+    }
+
+    /// Cells in the logical matrix.
+    pub fn logical_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cells in the rectangular transformed allocation
+    /// (`diagonals × cols`).
+    pub fn transformed_cells(&self) -> usize {
+        self.diagonals() * self.cols
+    }
+
+    /// Padding cells introduced by the transform — the "small increase in
+    /// memory footprint" of paper §2.2.
+    pub fn padding_cells(&self) -> usize {
+        self.transformed_cells() - self.logical_cells()
+    }
+
+    /// Length of anti-diagonal `d` (cells with `i + j == d`).
+    pub fn diagonal_len(&self, d: usize) -> usize {
+        if self.rows == 0 || self.cols == 0 || d >= self.diagonals() {
+            return 0;
+        }
+        let lo = d.saturating_sub(self.rows - 1);
+        let hi = d.min(self.cols - 1);
+        hi - lo + 1
+    }
+}
+
+/// Flat index of logical `(i, j)` within a row-major transformed
+/// allocation of `shape`.
+#[inline]
+pub fn transformed_index(shape: &DiagonalShape, i: usize, j: usize) -> usize {
+    let (d, jj) = to_diagonal(i, j);
+    d * shape.cols + jj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_invertible() {
+        for i in 0..20 {
+            for j in 0..20 {
+                let (d, jj) = to_diagonal(i, j);
+                assert_eq!(from_diagonal(d, jj), Some((i, j)));
+            }
+        }
+        assert_eq!(from_diagonal(3, 5), None);
+    }
+
+    #[test]
+    fn anti_diagonal_cells_are_contiguous() {
+        // All logical cells with i + j = d map to transformed row d with
+        // consecutive j' — the coalescing property.
+        let shape = DiagonalShape { rows: 8, cols: 8 };
+        let d = 5;
+        let idxs: Vec<usize> = (0..=d)
+            .map(|j| transformed_index(&shape, d - j, j))
+            .collect();
+        for w in idxs.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn row_major_neighbours_are_not_contiguous_without_transform() {
+        // The problem the transform solves: in row-major order, two
+        // adjacent anti-diagonal cells are `cols - 1` apart.
+        let cols = 100usize;
+        let idx = |i: usize, j: usize| i * cols + j;
+        assert_eq!(idx(5, 5) - idx(4, 6), cols - 1);
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = DiagonalShape { rows: 4, cols: 6 };
+        assert_eq!(s.diagonals(), 9);
+        assert_eq!(s.logical_cells(), 24);
+        assert_eq!(s.transformed_cells(), 54);
+        assert_eq!(s.padding_cells(), 30);
+    }
+
+    #[test]
+    fn diagonal_lengths_sum_to_logical_cells() {
+        let s = DiagonalShape { rows: 7, cols: 11 };
+        let total: usize = (0..s.diagonals()).map(|d| s.diagonal_len(d)).sum();
+        assert_eq!(total, s.logical_cells());
+        assert_eq!(s.diagonal_len(0), 1);
+        assert_eq!(s.diagonal_len(s.diagonals() - 1), 1);
+        assert_eq!(s.diagonal_len(6), 7.min(s.cols));
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let s = DiagonalShape { rows: 0, cols: 5 };
+        assert_eq!(s.diagonals(), 0);
+        assert_eq!(s.diagonal_len(0), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # fastz-core
+//!
+//! The paper's primary contribution: FastZ's inspector-executor gapped
+//! seed-extension pipeline on the GPU simulator — lightweight inspector,
+//! eager traceback, executor trimming, cyclic use-and-discard register
+//! buffers, length-binned load balancing, and CUDA-stream scheduling —
+//! plus the Feng-et-al GPU baseline and the Figure 9 ablation switches.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod binning;
+pub mod cost;
+pub mod gpu_baseline;
+pub mod layout;
+pub mod multi_gpu;
+pub mod pipeline;
+pub mod warp_engine;
+
+pub use ablation::OptFlags;
+pub use binning::{classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
+pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
+pub use multi_gpu::{partition_anchors, run_fastz_multi_gpu, MultiGpuReport, Partition};
+pub use pipeline::{run_fastz, FastZConfig, FastZReport, FastZStats};
+pub use warp_engine::{warp_extend, WarpConfig, WarpExtension};

@@ -1,0 +1,290 @@
+//! Multi-GPU FastZ (the paper's §6 "Multi-GPU/node extension",
+//! deferred there as future work and implemented here).
+//!
+//! Seeds partition trivially across devices: each GPU runs the complete
+//! inspector-executor pipeline on its share of the anchors, and the host
+//! concatenates the alignments. Two partitioning policies are provided:
+//!
+//! * [`Partition::Block`] — contiguous anchor ranges (minimal host
+//!   bookkeeping, but conserved regions cluster, so one device can
+//!   inherit most of the long alignments);
+//! * [`Partition::Strided`] — round-robin (spreads the long-alignment
+//!   tail across devices; the better default, mirroring the multicore
+//!   driver's layout).
+//!
+//! The modeled wall time is the slowest device's pipeline time plus a
+//! host-side scatter/gather term; results are identical to a single-GPU
+//! run by construction (asserted in tests).
+
+use crate::pipeline::{run_fastz, FastZConfig, FastZReport};
+use fastz_align::{dedupe_alignments, Alignment};
+use fastz_genome::Sequence;
+use fastz_gpu_sim::{DeviceSpec, PhaseTimeline};
+use fastz_seed::Anchor;
+
+/// Anchor partitioning policy across devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Contiguous blocks of the anchor list.
+    Block,
+    /// Round-robin striding (default).
+    Strided,
+}
+
+/// Per-host-side cost of scattering anchors / gathering alignments, per
+/// device (PCIe setup plus result copy).
+pub const HOST_SCATTER_GATHER_S: f64 = 2.0e-4;
+
+/// Result of a multi-GPU run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuReport {
+    /// Concatenated, deduplicated alignments (identical to a single-GPU
+    /// run over the full anchor list).
+    pub alignments: Vec<Alignment>,
+    /// Per-device reports, in device order.
+    pub per_device: Vec<FastZReport>,
+    /// Modeled wall time: slowest device + host scatter/gather.
+    pub modeled_time_s: f64,
+    /// Slowest device index (the straggler).
+    pub straggler: usize,
+    /// Partitioning policy used.
+    pub partition: Partition,
+}
+
+impl MultiGpuReport {
+    /// Parallel efficiency versus a single device of the same type:
+    /// `t_single / (n · t_multi)`.
+    pub fn efficiency(&self, single_device_time_s: f64) -> f64 {
+        let n = self.per_device.len() as f64;
+        single_device_time_s / (n * self.modeled_time_s)
+    }
+
+    /// The combined phase timeline of the straggler (what bounds the run).
+    pub fn straggler_timeline(&self) -> &PhaseTimeline {
+        &self.per_device[self.straggler].timeline
+    }
+}
+
+/// Splits `anchors` across `n` partitions under `policy`.
+pub fn partition_anchors(anchors: &[Anchor], n: usize, policy: Partition) -> Vec<Vec<Anchor>> {
+    assert!(n > 0, "need at least one device");
+    match policy {
+        Partition::Block => {
+            let chunk = anchors.len().div_ceil(n).max(1);
+            let mut parts: Vec<Vec<Anchor>> =
+                anchors.chunks(chunk).map(|c| c.to_vec()).collect();
+            parts.resize(n, Vec::new());
+            parts
+        }
+        Partition::Strided => {
+            let mut parts = vec![Vec::with_capacity(anchors.len() / n + 1); n];
+            for (i, &a) in anchors.iter().enumerate() {
+                parts[i % n].push(a);
+            }
+            parts
+        }
+    }
+}
+
+/// Runs FastZ over `devices`, partitioning the anchors by `policy`.
+///
+/// Each device gets the same optimization flags and scoring from `cfg`;
+/// `cfg.device` is ignored in favour of the per-device specs.
+pub fn run_fastz_multi_gpu(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+    devices: &[DeviceSpec],
+    policy: Partition,
+) -> MultiGpuReport {
+    assert!(!devices.is_empty(), "need at least one device");
+    let parts = partition_anchors(anchors, devices.len(), policy);
+
+    let mut per_device = Vec::with_capacity(devices.len());
+    let mut alignments = Vec::new();
+    for (dev, part) in devices.iter().zip(&parts) {
+        let dev_cfg = FastZConfig {
+            device: dev.clone(),
+            ..cfg.clone()
+        };
+        let report = run_fastz(target, query, part, seed_span, &dev_cfg);
+        alignments.extend(report.alignments.iter().cloned());
+        per_device.push(report);
+    }
+
+    let (straggler, slowest) = per_device
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.modeled_time_s))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+
+    MultiGpuReport {
+        alignments: dedupe_alignments(alignments),
+        modeled_time_s: slowest + HOST_SCATTER_GATHER_S * devices.len() as f64,
+        per_device,
+        straggler,
+        partition: policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::OptFlags;
+    use fastz_genome::evolve::{generate_pair, PairParams};
+    use fastz_genome::Scoring;
+    use fastz_seed::{Workload, WorkloadParams};
+
+    fn demo() -> (Sequence, Sequence, Vec<Anchor>, usize) {
+        let pair = generate_pair(&PairParams {
+            target_len: 15_000,
+            query_len: 15_000,
+            segments: 30,
+            ..PairParams::small_demo("mgpu", 606)
+        });
+        let wl = Workload::build(
+            &pair.target,
+            &pair.query,
+            &WorkloadParams {
+                max_anchors: 240,
+                ..WorkloadParams::default()
+            },
+        );
+        let span = wl.shape.span();
+        (pair.target, pair.query, wl.anchors, span)
+    }
+
+    fn cfg() -> FastZConfig {
+        FastZConfig {
+            flags: OptFlags::fastz(),
+            ..FastZConfig::new(
+                Scoring::bench_scaled(),
+                DeviceSpec::rtx3080_ampere(),
+            )
+        }
+    }
+
+    #[test]
+    fn partitioning_is_total_and_disjoint() {
+        let anchors: Vec<Anchor> = (0..100)
+            .map(|i| Anchor {
+                target_pos: i,
+                query_pos: i,
+            })
+            .collect();
+        for policy in [Partition::Block, Partition::Strided] {
+            let parts = partition_anchors(&anchors, 3, policy);
+            assert_eq!(parts.len(), 3);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            assert_eq!(total, anchors.len());
+            let mut all: Vec<_> = parts.concat();
+            all.sort_by_key(|a| a.target_pos);
+            assert_eq!(all, anchors);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_gpu_alignments() {
+        let (t, q, anchors, span) = demo();
+        let single = run_fastz(&t, &q, &anchors, span, &cfg());
+        let devices = vec![DeviceSpec::rtx3080_ampere(); 4];
+        for policy in [Partition::Block, Partition::Strided] {
+            let multi = run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &devices, policy);
+            assert_eq!(
+                multi.alignments, single.alignments,
+                "{policy:?} changed the alignments"
+            );
+        }
+    }
+
+    #[test]
+    fn more_gpus_are_not_slower() {
+        let (t, q, anchors, span) = demo();
+        let one = run_fastz_multi_gpu(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &[DeviceSpec::rtx3080_ampere()],
+            Partition::Strided,
+        );
+        let four = run_fastz_multi_gpu(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &vec![DeviceSpec::rtx3080_ampere(); 4],
+            Partition::Strided,
+        );
+        // Host scatter/gather grows with device count, so compare the
+        // device component.
+        let one_dev = one.modeled_time_s - HOST_SCATTER_GATHER_S;
+        let four_dev = four.modeled_time_s - 4.0 * HOST_SCATTER_GATHER_S;
+        assert!(four_dev <= one_dev, "4 GPUs slower: {four_dev} vs {one_dev}");
+        assert!(four.efficiency(one_dev) <= 1.05);
+    }
+
+    #[test]
+    fn strided_partitioning_balances_the_long_tail() {
+        // With a long alignment cluster at the front of the anchor list,
+        // block partitioning puts it all on device 0; striding spreads it.
+        let (t, q, anchors, span) = demo();
+        let devices = vec![DeviceSpec::rtx3080_ampere(); 4];
+        let block = run_fastz_multi_gpu(
+            &t, &q, &anchors, span, &cfg(), &devices, Partition::Block,
+        );
+        let strided = run_fastz_multi_gpu(
+            &t, &q, &anchors, span, &cfg(), &devices, Partition::Strided,
+        );
+        assert!(strided.modeled_time_s <= block.modeled_time_s * 1.25);
+        assert_eq!(block.alignments, strided.alignments);
+    }
+
+    #[test]
+    fn heterogeneous_devices_straggle_on_the_slowest() {
+        let (t, q, anchors, span) = demo();
+        let devices = vec![
+            DeviceSpec::rtx3080_ampere(),
+            DeviceSpec::titan_x_pascal(),
+        ];
+        let multi = run_fastz_multi_gpu(
+            &t, &q, &anchors, span, &cfg(), &devices, Partition::Strided,
+        );
+        // The straggler index reflects the slowest per-device time (which
+        // partition holds the longest problem varies with the stride).
+        let argmax = multi
+            .per_device
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.modeled_time_s.partial_cmp(&b.1.modeled_time_s).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(multi.straggler, argmax);
+        assert!(multi.straggler_timeline().total() > 0.0);
+        // And an all-Pascal fleet is slower than an all-Ampere fleet.
+        let pascal_fleet = run_fastz_multi_gpu(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &vec![DeviceSpec::titan_x_pascal(); 2],
+            Partition::Strided,
+        );
+        let ampere_fleet = run_fastz_multi_gpu(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &vec![DeviceSpec::rtx3080_ampere(); 2],
+            Partition::Strided,
+        );
+        assert!(pascal_fleet.modeled_time_s > ampere_fleet.modeled_time_s);
+    }
+}

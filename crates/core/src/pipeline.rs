@@ -1,0 +1,688 @@
+//! The FastZ pipeline: inspector → eager traceback → length binning →
+//! trimmed executor → splice (paper §3).
+//!
+//! The pipeline runs *functionally* on the GPU simulator's warp
+//! primitives — it produces real alignments, verified against the scalar
+//! LASTZ engines — while every warp task's measured work is priced into
+//! the timing model (`gpu-sim`). The host-side functional simulation is
+//! parallelized over CPU threads purely to make the simulation fast;
+//! modeled GPU time is unaffected by host thread count.
+
+use crate::ablation::OptFlags;
+use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
+use crate::cost::price_task;
+use crate::warp_engine::{warp_extend, WarpConfig, WarpExtension};
+use fastz_align::{push_op, Alignment, EditOp};
+use fastz_genome::{Scoring, Sequence};
+use fastz_gpu_sim::stream::time_stream_pipeline_capped;
+use fastz_gpu_sim::{
+    BlockResources, DeviceSpec, KernelCounters, KernelSpec, PhaseTimeline, SharedMem, WarpTask,
+};
+use fastz_seed::Anchor;
+use std::time::{Duration, Instant};
+
+/// Host-side modeling constants for the "other" phase of Figure 8
+/// (reading anchors and sequences, host↔device copies, bin sorting,
+/// copying eager-surviving anchors for the executor).
+mod host {
+    /// Effective PCIe copy bandwidth.
+    pub const PCIE_BW: f64 = 12e9;
+    /// Per-seed host bookkeeping (reading anchor records, classification,
+    /// bin sorting, copying eager-surviving anchors and results) —
+    /// calibrated so the Figure 8 "other" component is a visible minority
+    /// share as in the paper.
+    pub const PER_SEED_S: f64 = 500e-9;
+    /// Per-run fixed setup (context, allocations).
+    pub const FIXED_S: f64 = 2e-4;
+}
+
+/// FastZ pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct FastZConfig {
+    /// Scoring scheme (shared with the CPU baselines).
+    pub scoring: Scoring,
+    /// Optimization flags (ablation axis).
+    pub flags: OptFlags,
+    /// Device to model.
+    pub device: DeviceSpec,
+    /// Cap on one-sided extension reach (matches the scalar drivers).
+    pub max_extension: usize,
+    /// Warp tasks per inspector kernel launch.
+    pub inspector_batch: usize,
+    /// Host threads for the functional simulation (0 = all available).
+    pub sim_threads: usize,
+}
+
+impl FastZConfig {
+    /// Full FastZ on the given device.
+    pub fn new(scoring: Scoring, device: DeviceSpec) -> FastZConfig {
+        FastZConfig {
+            scoring,
+            flags: OptFlags::fastz(),
+            device,
+            max_extension: 40_000,
+            inspector_batch: 2048,
+            sim_threads: 0,
+        }
+    }
+}
+
+/// Aggregate pipeline statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FastZStats {
+    /// Seed anchors processed.
+    pub seeds: usize,
+    /// One-sided extension problems (2 per seed).
+    pub problems: usize,
+    /// Problems finished by eager traceback in the inspector.
+    pub eager_resolved: usize,
+    /// Problems that required the executor.
+    pub executor_problems: usize,
+    /// Inspector work counters.
+    pub inspector: KernelCounters,
+    /// Executor work counters.
+    pub executor: KernelCounters,
+}
+
+/// Result of a FastZ run.
+#[derive(Clone, Debug)]
+pub struct FastZReport {
+    /// Alignments meeting the score threshold, deduplicated.
+    pub alignments: Vec<Alignment>,
+    /// Table 2 classification (per seed, by optimal extent).
+    pub bin_counts: BinCounts,
+    /// Figure 8 phase attribution of the modeled time.
+    pub timeline: PhaseTimeline,
+    /// Modeled end-to-end GPU time in seconds.
+    pub modeled_time_s: f64,
+    /// Aggregate statistics.
+    pub stats: FastZStats,
+    /// Wall-clock time of the host-side functional simulation.
+    pub host_wall: Duration,
+    /// Inspector kernel specifications (for re-timing on other devices).
+    pub inspector_kernels: Vec<KernelSpec>,
+    /// Executor kernel specifications, one batch per length bin.
+    pub executor_kernels: Vec<KernelSpec>,
+    /// Modeled host-side "other" time (device-independent).
+    pub other_s: f64,
+    /// Worst-case per-problem score-matrix allocation in bytes when the
+    /// cyclic register buffers are disabled (`None` when they are on):
+    /// device memory divided by this caps inspector concurrency.
+    pub inspector_alloc_bytes: Option<u64>,
+    /// Worst-case per-problem executor allocation in bytes when executor
+    /// trimming is disabled (`None` when trimming is on): without the
+    /// inspector's length information the executor must allocate
+    /// traceback (and, without cyclic buffers, scores) for the whole
+    /// search space, capping its concurrency (paper §3.1.3: precise
+    /// allocation "enables FastZ to pack many more seed extensions into
+    /// one kernel").
+    pub executor_alloc_bytes: Option<u64>,
+}
+
+impl FastZReport {
+    /// Re-prices this run's measured work on another device and stream
+    /// count without re-running the functional simulation (the work
+    /// counters are device-independent).
+    pub fn retime(&self, device: &DeviceSpec, streams: usize) -> PhaseTimeline {
+        let usable = device.mem_gib as u64 * (1 << 30) * 8 / 10;
+        let insp_cap = self
+            .inspector_alloc_bytes
+            .map(|b| (usable / b.max(1)) as usize);
+        let exec_cap = self
+            .executor_alloc_bytes
+            .map(|b| (usable / b.max(1)) as usize);
+        let insp = time_stream_pipeline_capped(device, &self.inspector_kernels, streams, insp_cap);
+        let exec = time_stream_pipeline_capped(device, &self.executor_kernels, streams, exec_cap);
+        let mut timeline = PhaseTimeline::new();
+        timeline.add("inspector", insp.time_s);
+        timeline.add("executor", exec.time_s);
+        timeline.add("other", self.other_s);
+        timeline
+    }
+}
+
+/// Outcome of one inspector problem.
+#[derive(Clone, Debug)]
+struct SideResult {
+    score: i32,
+    best_i: usize,
+    best_j: usize,
+    explored_rows: usize,
+    explored_cols: usize,
+    eager_ops: Option<Vec<EditOp>>,
+    task: WarpTask,
+    counters: fastz_gpu_sim::WarpCounters,
+}
+
+/// One side's final edit script (for splicing).
+#[derive(Clone, Debug, Default)]
+struct SideOps {
+    score: i32,
+    best_i: usize,
+    best_j: usize,
+    ops: Vec<EditOp>,
+}
+
+fn sim_threads(cfg: &FastZConfig) -> usize {
+    if cfg.sim_threads > 0 {
+        cfg.sim_threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Builds the (target, query) suffix slices of one problem side; the left
+/// side reverses prefixes into the provided buffers.
+fn side_slices<'a>(
+    target: &'a Sequence,
+    query: &'a Sequence,
+    anchor: Anchor,
+    seed_span: usize,
+    left: bool,
+    max_extension: usize,
+    rev_t: &'a mut Vec<u8>,
+    rev_q: &'a mut Vec<u8>,
+) -> (&'a [u8], &'a [u8]) {
+    let tc = target.codes();
+    let qc = query.codes();
+    let t0 = anchor.target_pos as usize;
+    let q0 = anchor.query_pos as usize;
+    if left {
+        let ts = t0.saturating_sub(max_extension);
+        let qs = q0.saturating_sub(max_extension);
+        rev_t.clear();
+        rev_q.clear();
+        rev_t.extend(tc[ts..t0].iter().rev());
+        rev_q.extend(qc[qs..q0].iter().rev());
+        (rev_t.as_slice(), rev_q.as_slice())
+    } else {
+        let te = tc.len().min(t0 + seed_span + max_extension);
+        let qe = qc.len().min(q0 + seed_span + max_extension);
+        (&tc[t0 + seed_span..te], &qc[q0 + seed_span..qe])
+    }
+}
+
+/// Runs one phase's problems across host threads, preserving order.
+fn run_phase<F>(n_problems: usize, threads: usize, work: F) -> Vec<SideResult>
+where
+    F: Fn(usize, &mut SharedMem) -> SideResult + Sync,
+{
+    if n_problems == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n_problems).max(1);
+    let chunk = n_problems.div_ceil(threads);
+    let chunks: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n_problems)))
+        .filter(|(a, b)| a < b)
+        .collect();
+    let work = &work;
+    let mut out: Vec<Vec<SideResult>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move |_| {
+                    let mut shared = SharedMem::new(96 * 1024);
+                    (lo..hi)
+                        .map(|idx| {
+                            shared.clear();
+                            work(idx, &mut shared)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("simulation scope failed");
+    let mut flat = Vec::with_capacity(n_problems);
+    for part in out.drain(..) {
+        flat.extend(part);
+    }
+    flat
+}
+
+/// Runs the FastZ pipeline over `anchors`.
+pub fn run_fastz(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+) -> FastZReport {
+    let wall_start = Instant::now();
+    let threads = sim_threads(cfg);
+    let flags = cfg.flags;
+    let n_problems = anchors.len() * 2;
+
+    // ---- Inspector phase -------------------------------------------------
+    let insp_cfg = WarpConfig::inspector(&flags);
+    let inspector_results = run_phase(n_problems, threads, |idx, shared| {
+        let anchor = anchors[idx / 2];
+        let left = idx % 2 == 0;
+        let (mut rev_t, mut rev_q) = (Vec::new(), Vec::new());
+        let (t, q) = side_slices(
+            target,
+            query,
+            anchor,
+            seed_span,
+            left,
+            cfg.max_extension,
+            &mut rev_t,
+            &mut rev_q,
+        );
+        let ext = warp_extend(t, q, &cfg.scoring, &insp_cfg, shared);
+        side_result(ext)
+    });
+
+    let mut stats = FastZStats {
+        seeds: anchors.len(),
+        problems: n_problems,
+        ..FastZStats::default()
+    };
+    for r in &inspector_results {
+        stats.inspector.add_task(&r.counters);
+    }
+
+    // ---- Table 2 classification (per seed, by optimal extent) -----------
+    let mut bin_counts = BinCounts::default();
+    for pair in inspector_results.chunks(2) {
+        let extent = pair
+            .iter()
+            .map(|r| r.best_i.max(r.best_j))
+            .max()
+            .unwrap_or(0);
+        bin_counts.record(classify(extent));
+    }
+
+    // ---- Partition: eager-resolved vs executor problems ------------------
+    // A side is resolved in the inspector iff eager traceback produced its
+    // edit script (requires the flag and a ≤16×16 optimum).
+    let mut executor_idx: Vec<usize> = Vec::new();
+    for (idx, r) in inspector_results.iter().enumerate() {
+        if flags.eager_traceback && r.eager_ops.is_some() {
+            stats.eager_resolved += 1;
+        } else {
+            executor_idx.push(idx);
+        }
+    }
+    stats.executor_problems = executor_idx.len();
+
+    // Group executor problems by length bin (§3.3), preserving order
+    // within a bin.
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); BIN_BOUNDS.len() + 2];
+    for &idx in &executor_idx {
+        let r = &inspector_results[idx];
+        let class = classify(r.best_i.max(r.best_j));
+        let slot = match class {
+            BinClass::Eager => 0, // eager-sized but flag off → smallest bin
+            BinClass::Bin(b) => b + 1,
+            BinClass::Overflow => BIN_BOUNDS.len() + 1,
+        };
+        bins[slot].push(idx);
+    }
+
+    // ---- Executor phase ---------------------------------------------------
+    let mut executor_results: Vec<Option<SideResult>> = vec![None; n_problems];
+    let mut executor_kernels: Vec<KernelSpec> = Vec::new();
+    for (slot, bin) in bins.iter().enumerate() {
+        if bin.is_empty() {
+            continue;
+        }
+        let results = run_phase(bin.len(), threads, |k, shared| {
+            let idx = bin[k];
+            let anchor = anchors[idx / 2];
+            let left = idx % 2 == 0;
+            let insp = &inspector_results[idx];
+            let (mut rev_t, mut rev_q) = (Vec::new(), Vec::new());
+            let (t, q) = side_slices(
+                target,
+                query,
+                anchor,
+                seed_span,
+                left,
+                cfg.max_extension,
+                &mut rev_t,
+                &mut rev_q,
+            );
+            let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
+            if !flags.executor_trimming {
+                // Untrimmed executor recomputes the whole search space the
+                // inspector explored, with traceback everywhere (Fig 9
+                // base configuration).
+                exec_cfg.max_rows = insp.explored_rows;
+                exec_cfg.max_cols = insp.explored_cols;
+            }
+            let ext = warp_extend(t, q, &cfg.scoring, &exec_cfg, shared);
+            side_result(ext)
+        });
+        let mut tasks = Vec::with_capacity(results.len());
+        for (k, r) in results.into_iter().enumerate() {
+            stats.executor.add_task(&r.counters);
+            tasks.push(r.task);
+            executor_results[bin[k]] = Some(r);
+        }
+        // One kernel per bin (split into batches like the inspector).
+        for (b, chunk) in tasks.chunks(cfg.inspector_batch).enumerate() {
+            executor_kernels.push(KernelSpec::new(
+                format!("executor-bin{slot}-{b}"),
+                chunk.to_vec(),
+                BlockResources::fastz_executor(),
+            ));
+        }
+    }
+
+    // ---- Splice halves into alignments -----------------------------------
+    let mut alignments: Vec<Alignment> = Vec::new();
+    for (a_idx, anchor) in anchors.iter().enumerate() {
+        // A side's final ops come from eager traceback (inspector) when it
+        // resolved there, otherwise from the executor's full traceback
+        // (both are stored in `SideResult::eager_ops` by `side_result`).
+        let side = |idx: usize| -> SideOps {
+            let r = match &executor_results[idx] {
+                Some(exec) => exec,
+                None => &inspector_results[idx],
+            };
+            SideOps {
+                score: r.score,
+                best_i: r.best_i,
+                best_j: r.best_j,
+                ops: r
+                    .eager_ops
+                    .clone()
+                    .expect("unresolved side has no edit script"),
+            }
+        };
+        let left = side(a_idx * 2);
+        let right = side(a_idx * 2 + 1);
+
+        let tc = target.codes();
+        let qc = query.codes();
+        let t0 = anchor.target_pos as usize;
+        let q0 = anchor.query_pos as usize;
+        let mut seed_score = 0i32;
+        for k in 0..seed_span {
+            seed_score += cfg.scoring.subst.score(tc[t0 + k], qc[q0 + k]);
+        }
+
+        let mut ops: Vec<EditOp> = Vec::new();
+        for &op in left.ops.iter().rev() {
+            push_op(&mut ops, op);
+        }
+        push_op(&mut ops, EditOp::Diag(seed_span as u32));
+        for &op in &right.ops {
+            push_op(&mut ops, op);
+        }
+
+        let alignment = Alignment {
+            target_start: t0 - left.best_j,
+            target_end: t0 + seed_span + right.best_j,
+            query_start: q0 - left.best_i,
+            query_end: q0 + seed_span + right.best_i,
+            score: left.score + seed_score + right.score,
+            ops,
+        };
+        if alignment.score >= cfg.scoring.gapped_threshold {
+            alignments.push(alignment);
+        }
+    }
+    let alignments = fastz_align::dedupe_alignments(alignments);
+
+    // ---- Timing assembly ---------------------------------------------------
+    let inspector_kernels: Vec<KernelSpec> = inspector_results
+        .chunks(cfg.inspector_batch)
+        .enumerate()
+        .map(|(b, chunk)| {
+            KernelSpec::new(
+                format!("inspector-{b}"),
+                chunk.iter().map(|r| r.task).collect(),
+                BlockResources::fastz_inspector(),
+            )
+        })
+        .collect();
+
+    // Without cyclic register buffers, the inspector cannot elide its
+    // score matrices: each resident problem holds a worst-case banded
+    // allocation (reachable rows × max extension × 12 B), and device
+    // memory caps how many problems run concurrently (paper §3 — the
+    // footprint reduction "enables more parallelism").
+    let max_match = cfg.scoring.subst.max_score().max(1);
+    let banded_rows = 32
+        + ((cfg.scoring.ydrop + 32 * max_match).max(0) / cfg.scoring.gaps.extend.max(1))
+            as usize;
+    let inspector_alloc_bytes = (!flags.cyclic_buffers)
+        .then(|| (banded_rows * cfg.max_extension * 12) as u64);
+    let executor_alloc_bytes = (!flags.executor_trimming).then(|| {
+        let per_cell = 1 + if flags.cyclic_buffers { 0 } else { 12 };
+        (banded_rows * cfg.max_extension * per_cell) as u64
+    });
+    let usable = cfg.device.mem_gib as u64 * (1 << 30) * 8 / 10;
+    let insp_cap = inspector_alloc_bytes.map(|b| (usable / b.max(1)) as usize);
+    let exec_cap = executor_alloc_bytes.map(|b| (usable / b.max(1)) as usize);
+    let insp_t =
+        time_stream_pipeline_capped(&cfg.device, &inspector_kernels, flags.streams, insp_cap);
+    let exec_t =
+        time_stream_pipeline_capped(&cfg.device, &executor_kernels, flags.streams, exec_cap);
+    let other_s = host::FIXED_S
+        + (target.len() + query.len()) as f64 / host::PCIE_BW
+        + anchors.len() as f64 * host::PER_SEED_S;
+
+    let mut timeline = PhaseTimeline::new();
+    timeline.add("inspector", insp_t.time_s);
+    timeline.add("executor", exec_t.time_s);
+    timeline.add("other", other_s);
+
+    FastZReport {
+        alignments,
+        bin_counts,
+        modeled_time_s: timeline.total(),
+        timeline,
+        stats,
+        host_wall: wall_start.elapsed(),
+        inspector_kernels,
+        executor_kernels,
+        other_s,
+        inspector_alloc_bytes,
+        executor_alloc_bytes,
+    }
+}
+
+fn side_result(ext: WarpExtension) -> SideResult {
+    let task = price_task(&ext.counters);
+    SideResult {
+        score: ext.best_score,
+        best_i: ext.best_i,
+        best_j: ext.best_j,
+        explored_rows: ext.explored_rows,
+        explored_cols: ext.explored_cols,
+        eager_ops: ext.ops.or(ext.eager_ops),
+        task,
+        counters: ext.counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_align::{sequential_gapped, DriverConfig};
+    use fastz_genome::evolve::{generate_pair, PairParams};
+    use fastz_seed::{Workload, WorkloadParams};
+
+    fn demo(seed: u64) -> (Sequence, Sequence, Vec<Anchor>, usize) {
+        let pair = generate_pair(&PairParams {
+            target_len: 12_000,
+            query_len: 12_000,
+            segments: 24,
+            ..PairParams::small_demo("pl", seed)
+        });
+        let wl = Workload::build(
+            &pair.target,
+            &pair.query,
+            &WorkloadParams {
+                max_anchors: 300,
+                ..WorkloadParams::default()
+            },
+        );
+        let span = wl.shape.span();
+        (pair.target, pair.query, wl.anchors, span)
+    }
+
+    fn config() -> FastZConfig {
+        FastZConfig::new(
+            Scoring::bench_scaled(),
+            DeviceSpec::rtx3080_ampere(),
+        )
+    }
+
+    #[test]
+    fn pipeline_produces_valid_alignments() {
+        let (t, q, anchors, span) = demo(101);
+        let report = run_fastz(&t, &q, &anchors, span, &config());
+        assert!(!report.alignments.is_empty());
+        for a in &report.alignments {
+            assert!(a.is_consistent(&t, &q), "{a}");
+            assert_eq!(a.rescore(&t, &q, &config().scoring), a.score, "{a}");
+        }
+        assert_eq!(report.bin_counts.total(), anchors.len());
+        assert!(report.modeled_time_s > 0.0);
+        assert_eq!(report.timeline.entries().len(), 3);
+    }
+
+    #[test]
+    fn fastz_matches_or_beats_sequential_lastz() {
+        // The paper's §3.4 guarantee: identical or occasionally longer
+        // alignments. Every sequential alignment must be covered by a
+        // FastZ alignment with at least its score.
+        let (t, q, anchors, span) = demo(102);
+        let cfg = config();
+        let seq_cfg = DriverConfig {
+            work_reduction: false,
+            ..DriverConfig::gapped(cfg.scoring.clone())
+        };
+        let seq = sequential_gapped(&t, &q, &anchors, span, &seq_cfg);
+        let fz = run_fastz(&t, &q, &anchors, span, &cfg);
+        assert!(!seq.alignments.is_empty());
+        for a in &seq.alignments {
+            let covered = fz.alignments.iter().any(|f| {
+                f.target_start <= a.target_start
+                    && f.target_end >= a.target_end
+                    && f.query_start <= a.query_start
+                    && f.query_end >= a.query_end
+                    && f.score >= a.score
+            });
+            assert!(covered, "sequential alignment not covered: {a}");
+        }
+        // And the vast majority should be *identical*.
+        let identical = seq
+            .alignments
+            .iter()
+            .filter(|a| fz.alignments.contains(a))
+            .count();
+        assert!(
+            identical as f64 / seq.alignments.len() as f64 > 0.9,
+            "only {identical}/{} identical",
+            seq.alignments.len()
+        );
+    }
+
+    #[test]
+    fn eager_traceback_resolves_most_problems() {
+        // Tiny-homology-dominated pair (the realistic regime; the bench
+        // catalog reproduces the paper's 75-80 % per-seed fraction).
+        let pair = generate_pair(&PairParams {
+            target_len: 15_000,
+            query_len: 15_000,
+            segments: 40,
+            classes: vec![
+                fastz_genome::HomologyClass {
+                    name: "tiny",
+                    len_range: (21, 34),
+                    weight: 90.0,
+                    rates: fastz_genome::MutationRates::IDENTITY,
+                },
+                fastz_genome::HomologyClass {
+                    name: "small",
+                    len_range: (35, 120),
+                    weight: 10.0,
+                    rates: fastz_genome::MutationRates::conserved(),
+                },
+            ],
+            ..PairParams::small_demo("eg", 103)
+        });
+        let wl = Workload::build(&pair.target, &pair.query, &WorkloadParams::default());
+        let report = run_fastz(
+            &pair.target,
+            &pair.query,
+            &wl.anchors,
+            wl.shape.span(),
+            &config(),
+        );
+        let frac = report.stats.eager_resolved as f64 / report.stats.problems as f64;
+        assert!(frac > 0.6, "eager fraction {frac:.2}");
+        assert_eq!(
+            report.stats.eager_resolved + report.stats.executor_problems,
+            report.stats.problems
+        );
+    }
+
+    #[test]
+    fn ablation_configs_all_produce_same_alignments() {
+        let (t, q, anchors, span) = demo(104);
+        let mut reference: Option<Vec<Alignment>> = None;
+        for (label, flags) in OptFlags::figure9_progression() {
+            let cfg = FastZConfig {
+                flags,
+                ..config()
+            };
+            let report = run_fastz(&t, &q, &anchors, span, &cfg);
+            match &reference {
+                None => reference = Some(report.alignments),
+                Some(r) => assert_eq!(r, &report.alignments, "config {label} changed results"),
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_staircase_is_monotone() {
+        // Each added optimization must reduce modeled time; a single
+        // stream must increase it (Figure 9).
+        let (t, q, anchors, span) = demo(105);
+        let time_of = |flags: OptFlags| {
+            run_fastz(
+                &t,
+                &q,
+                &anchors,
+                span,
+                &FastZConfig {
+                    flags,
+                    ..config()
+                },
+            )
+            .modeled_time_s
+        };
+        // At unit-test scale some steps are launch-overhead-dominated and
+        // may tie; the strict staircase is asserted at benchmark scale by
+        // the fig9 harness. Here: never slower, and strictly faster
+        // end-to-end.
+        let base = time_of(OptFlags::base());
+        let cyclic = time_of(OptFlags::with_cyclic());
+        let eager = time_of(OptFlags::with_eager());
+        let fastz = time_of(OptFlags::fastz());
+        let single = time_of(OptFlags::fastz_single_stream());
+        assert!(cyclic <= base, "cyclic {cyclic} !<= base {base}");
+        assert!(eager <= cyclic, "eager {eager} !<= cyclic {cyclic}");
+        assert!(fastz <= eager, "fastz {fastz} !<= eager {eager}");
+        assert!(single >= fastz, "single {single} !>= fastz {fastz}");
+        assert!(fastz < base, "fastz {fastz} !< base {base}");
+    }
+
+    #[test]
+    fn empty_anchor_list_is_fine() {
+        let (t, q, _, span) = demo(106);
+        let report = run_fastz(&t, &q, &[], span, &config());
+        assert!(report.alignments.is_empty());
+        assert_eq!(report.bin_counts.total(), 0);
+    }
+}

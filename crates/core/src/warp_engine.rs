@@ -1,0 +1,777 @@
+//! The warp-parallel y-drop extension engine (FastZ's DP kernel body).
+//!
+//! One seed-extension side runs on one warp (paper §3.1.1). Columns of
+//! the DP matrix are strip-mined 32 at a time; within a strip the
+//! wavefront advances along anti-diagonals, lane ℓ owning column
+//! `strip_base + ℓ + 1` and computing one row per step. Per-lane live
+//! state is exactly the paper's three-diagonal **cyclic use-and-discard
+//! register buffer** (§3.2): the S/I/D values of the lane's previous row
+//! plus the S value of the row before that; horizontal and diagonal
+//! dependencies arrive from lane ℓ−1 via warp shuffles. Only lane 31
+//! writes its column's state to the strip-boundary spill buffer — the
+//! 1/32 residual traffic of §3.2.
+//!
+//! Pruning uses a **provably LASTZ-superset threshold**: a cell `(i, j)`
+//! may be pruned only against scores of cells that LASTZ's row-major
+//! sweep would have completed before it — rows `< i`, or row `i` at
+//! columns `< j`. Two sources satisfy that order: (a) the warp-wide
+//! maxima of anti-diagonals at least 32 steps old (every lane of those
+//! diagonals lies on a strictly smaller row than any current cell), and
+//! (b) the per-row prefix maxima of all previous strips. Consequently
+//! the engine explores a superset of sequential LASTZ's cells and
+//! returns the same or an occasionally higher score (§3.4).
+
+use crate::ablation::OptFlags;
+use fastz_align::ydrop::{tb, NEG_INF};
+use fastz_align::{walk_traceback_with, EditOp};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::{shfl_up, splat, Lanes, SharedMem, WarpCounters, WARP_SIZE};
+
+/// Per-call configuration of the warp engine.
+#[derive(Clone, Copy, Debug)]
+pub struct WarpConfig {
+    /// Keep the three-diagonal state in registers (true) or round-trip
+    /// every lane's scores through global memory (false) — §3.2 / Fig 9.
+    pub cyclic_buffers: bool,
+    /// Eager-traceback window size (0 disables): a `W×W` packed traceback
+    /// kept in shared memory; alignments that end inside it finish in the
+    /// inspector (§3.1.2).
+    pub eager_window: usize,
+    /// Record a full packed traceback matrix and walk it (executor mode).
+    pub record_traceback: bool,
+    /// Row bound (query extent); `usize::MAX` = full search.
+    pub max_rows: usize,
+    /// Column bound (target extent); `usize::MAX` = full search.
+    pub max_cols: usize,
+}
+
+impl WarpConfig {
+    /// Inspector configuration under `flags`.
+    pub fn inspector(flags: &OptFlags) -> WarpConfig {
+        WarpConfig {
+            cyclic_buffers: flags.cyclic_buffers,
+            eager_window: if flags.eager_traceback { 16 } else { 0 },
+            record_traceback: false,
+            max_rows: usize::MAX,
+            max_cols: usize::MAX,
+        }
+    }
+
+    /// Executor configuration under `flags`, trimmed to the inspector's
+    /// optimal cell when trimming is enabled.
+    pub fn executor(flags: &OptFlags, best_i: usize, best_j: usize) -> WarpConfig {
+        let (max_rows, max_cols) = if flags.executor_trimming {
+            (best_i, best_j)
+        } else {
+            (usize::MAX, usize::MAX)
+        };
+        WarpConfig {
+            cyclic_buffers: flags.cyclic_buffers,
+            eager_window: 0,
+            record_traceback: true,
+            max_rows,
+            max_cols,
+        }
+    }
+}
+
+/// Result of one warp extension.
+#[derive(Clone, Debug)]
+pub struct WarpExtension {
+    /// Best score found (≥ 0).
+    pub best_score: i32,
+    /// Query bases consumed at the best cell.
+    pub best_i: usize,
+    /// Target bases consumed at the best cell.
+    pub best_j: usize,
+    /// Edit script recovered by eager traceback (inspector mode, only if
+    /// the optimum fell inside the window).
+    pub eager_ops: Option<Vec<EditOp>>,
+    /// Edit script recovered from the full traceback (executor mode).
+    pub ops: Option<Vec<EditOp>>,
+    /// Work counters for the timing model.
+    pub counters: WarpCounters,
+    /// Maximum row (query extent) computed during the search.
+    pub explored_rows: usize,
+    /// Maximum column (target extent) computed during the search.
+    pub explored_cols: usize,
+}
+
+/// Spill-buffer entry: boundary-column (S, I) for one row.
+#[derive(Clone, Copy)]
+struct Spill {
+    s: i32,
+    i: i32,
+}
+
+const DEAD: Spill = Spill { s: NEG_INF, i: NEG_INF };
+
+/// Runs one warp extension of `query` against `target` (suffix slices in
+/// the extension direction). `shared` models the block's shared memory;
+/// the eager window lives there.
+pub fn warp_extend(
+    target: &[u8],
+    query: &[u8],
+    scoring: &Scoring,
+    cfg: &WarpConfig,
+    shared: &mut SharedMem,
+) -> WarpExtension {
+    let so_se = scoring.gaps.open_score();
+    let se = scoring.gaps.extend_score();
+    let ydrop = scoring.ydrop;
+    let n = target.len().min(cfg.max_cols);
+    let m = query.len().min(cfg.max_rows);
+    let w = cfg.eager_window;
+
+    let mut counters = WarpCounters::default();
+    let mut best_score = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    if n == 0 || m == 0 {
+        // Pure gap chains score negative; the origin is optimal.
+        return WarpExtension {
+            best_score: 0,
+            best_i: 0,
+            best_j: 0,
+            eager_ops: (w > 0).then(Vec::new),
+            ops: cfg.record_traceback.then(Vec::new),
+            counters,
+            explored_rows: 0,
+            explored_cols: 0,
+        };
+    }
+
+    // Row-0 boundary chain value at column j.
+    let r0 = |j: usize| -> i32 {
+        if j == 0 {
+            0
+        } else {
+            so_se + se * (j as i32 - 1)
+        }
+    };
+
+    // Sound per-strip row-reachability bound: entering a 32-column strip
+    // at row r, a path can gain at most 32 diagonal matches before every
+    // further row costs a gap-extend, so live cells cannot lie more than
+    // `32 + (ydrop + 32·max_match)/extend` rows below any live entry row.
+    // This caps every row-indexed buffer at the explored region instead
+    // of the full query suffix.
+    let max_match = scoring.subst.max_score().max(0);
+    let delta = WARP_SIZE
+        + ((ydrop + WARP_SIZE as i32 * max_match).max(0) / scoring.gaps.extend.max(1)) as usize;
+
+    // Executor traceback matrix (trimmed to m×n by construction). The
+    // allocation is zero-initialized (lazily paged by the OS — the same
+    // way a cudaMalloc'd bin allocation costs nothing until written);
+    // written bytes carry a marker bit so untouched cells read back as
+    // unreachable.
+    const TB_WRITTEN: u8 = 0x80;
+    let mut tbm: Vec<u8> = if cfg.record_traceback {
+        let cells = m
+            .checked_mul(n)
+            .expect("traceback matrix size overflow");
+        assert!(
+            cells <= 8 << 30,
+            "executor traceback of {m}x{n} cells exceeds the model's allocation cap"
+        );
+        vec![0u8; cells]
+    } else {
+        Vec::new()
+    };
+
+    // Spill buffer: boundary column state per row. Strip 0's boundary is
+    // matrix column 0 (analytic gap chain).
+    let mut row_cap = m.min(delta);
+    let mut spill: Vec<Spill> = (0..=row_cap)
+        .map(|i| {
+            if i == 0 {
+                Spill { s: 0, i: NEG_INF }
+            } else {
+                Spill {
+                    s: so_se + se * (i as i32 - 1),
+                    i: NEG_INF,
+                }
+            }
+        })
+        .collect();
+
+    // Per-row maxima of completed strips (LASTZ-order-safe threshold
+    // source b), kept as prefix maxima over rows.
+    let mut row_prefix_best: Vec<i32> = vec![NEG_INF; row_cap + 1];
+    row_prefix_best[0] = 0; // the origin
+    let mut row_max_strip: Vec<i32> = vec![NEG_INF; row_cap + 1];
+    let mut explored_rows = 0usize;
+    let mut explored_cols = 0usize;
+
+    let mut strip_base = 0usize;
+    loop {
+        let lanes_valid = WARP_SIZE.min(n - strip_base);
+        debug_assert!(lanes_valid > 0);
+        explored_cols = explored_cols.max(strip_base + lanes_valid);
+
+        // Start the wavefront at the strip's live row window instead of
+        // row 1: rows whose only inputs are dead spill entries and a
+        // dead row-0 chain cannot hold live cells, so skipping them is
+        // exact (a real kernel tracks this window the same way; without
+        // it every strip of a long alignment would sweep from the top).
+        let threshold0 = best_score - ydrop;
+        let row0_alive = r0(strip_base + 1) >= threshold0;
+        let row_base = if row0_alive {
+            0
+        } else {
+            match spill
+                .iter()
+                .position(|sp| sp.s.max(sp.i) >= threshold0)
+            {
+                Some(first_live) => first_live.saturating_sub(1),
+                None => break, // no live input anywhere: done
+            }
+        };
+
+        // Per-lane cyclic register state, initialized to row `row_base`
+        // (the row-0 boundary chain when starting at the top, dead
+        // otherwise — cells of row `row_base` itself are dead or
+        // boundary by construction).
+        let mut s_cur: Lanes<i32> = splat(NEG_INF);
+        let mut i_cur: Lanes<i32> = splat(NEG_INF);
+        let mut d_cur: Lanes<i32> = splat(NEG_INF);
+        let mut s_prev: Lanes<i32> = splat(NEG_INF);
+        if row_base == 0 {
+            for l in 0..lanes_valid {
+                let j = strip_base + l + 1;
+                s_cur[l] = r0(j);
+                i_cur[l] = r0(j);
+            }
+        }
+
+        row_max_strip.clear();
+        row_max_strip.resize(row_cap + 1, NEG_INF);
+
+        let mut next_spill: Vec<Spill> = vec![DEAD; row_cap + 1];
+        if strip_base + WARP_SIZE < n {
+            let boundary = strip_base + WARP_SIZE;
+            next_spill[0] = Spill {
+                s: r0(boundary),
+                i: r0(boundary),
+            };
+        }
+
+        // Lagged anti-diagonal maxima (threshold source a): ring of the
+        // last 32 step maxima plus the running max of anything older.
+        let mut diag_ring = [NEG_INF; WARP_SIZE];
+        let mut lagged_best = NEG_INF;
+
+        let mut strip_live = false;
+        let mut last_live_t: i64 = -1;
+        let mut spill_live_ptr = row_base + 1; // next spill row not yet known-dead
+
+        let mut live_max_row = 0usize;
+        // lane 31 finishes row row_cap at t_max - 2
+        let t_max = (row_cap - row_base) + WARP_SIZE;
+        let mut t = 0usize;
+        while t < t_max {
+            let lane0_row = row_base + t + 1;
+            // Shuffle in the left-neighbour values; lane 0 reads the
+            // strip-boundary spill.
+            let sp = |r: usize| spill.get(r).copied().unwrap_or(DEAD);
+            let fill = sp(lane0_row);
+            let fill_diag = sp(lane0_row - 1).s;
+            let s_left = shfl_up(&s_cur, 1, fill.s);
+            let i_left = shfl_up(&i_cur, 1, fill.i);
+            let s_diag_v = shfl_up(&s_prev, 1, fill_diag);
+            counters.shuffles += 3;
+
+            let mut active_lanes = 0u64;
+            let mut live_this_step = false;
+            let mut step_max = NEG_INF;
+            let mut any_dead = false;
+            let mut any_live_lane = false;
+
+            for l in 0..lanes_valid {
+                let Some(row) = t.checked_sub(l).map(|x| row_base + x + 1) else {
+                    continue; // lane has not started yet
+                };
+                if row > row_cap {
+                    continue; // lane finished its column
+                }
+                let i_idx = row;
+                let j_idx = strip_base + l + 1;
+                active_lanes += 1;
+                explored_rows = explored_rows.max(i_idx);
+
+                // Gotoh recurrences (paper Fig. 1) on register state.
+                let (i_val, i_ext) = {
+                    let open = s_left[l] + so_se;
+                    let ext = i_left[l] + se;
+                    if ext >= open {
+                        (ext, true)
+                    } else {
+                        (open, false)
+                    }
+                };
+                let (d_val, d_ext) = {
+                    let open = s_cur[l] + so_se;
+                    let ext = d_cur[l] + se;
+                    if ext >= open {
+                        (ext, true)
+                    } else {
+                        (open, false)
+                    }
+                };
+                let diag_val =
+                    s_diag_v[l] + scoring.subst.score(target[j_idx - 1], query[i_idx - 1]);
+                let (mut s_val, mut s_src) = (diag_val, tb::S_DIAG);
+                if i_val > s_val {
+                    s_val = i_val;
+                    s_src = tb::S_FROM_I;
+                }
+                if d_val > s_val {
+                    s_val = d_val;
+                    s_src = tb::S_FROM_D;
+                }
+
+                // LASTZ-order-safe threshold (module docs).
+                let threshold = lagged_best.max(row_prefix_best[i_idx]) - ydrop;
+                let dead =
+                    s_val < threshold && i_val < threshold && d_val < threshold;
+                let (s_store, i_store, d_store) = if dead {
+                    any_dead = true;
+                    (NEG_INF, NEG_INF, NEG_INF)
+                } else {
+                    any_live_lane = true;
+                    (s_val, i_val, d_val)
+                };
+
+                if !dead {
+                    live_this_step = true;
+                    strip_live = true;
+                    live_max_row = live_max_row.max(i_idx);
+                    step_max = step_max.max(s_store);
+                    row_max_strip[i_idx] = row_max_strip[i_idx].max(s_store);
+                    if s_store > best_score {
+                        best_score = s_store;
+                        best_i = i_idx;
+                        best_j = j_idx;
+                    }
+                }
+
+                // Traceback byte.
+                if cfg.record_traceback || (w > 0 && i_idx <= w && j_idx <= w) {
+                    let mut byte = if dead { tb::S_ORIGIN } else { s_src };
+                    if i_ext {
+                        byte |= tb::I_EXTEND;
+                    }
+                    if d_ext {
+                        byte |= tb::D_EXTEND;
+                    }
+                    if cfg.record_traceback {
+                        tbm[(i_idx - 1) * n + (j_idx - 1)] = byte | TB_WRITTEN;
+                        counters.global_written += 1; // 1 B/cell, staged
+                        counters.shared_bytes += 2; //   through shared
+                    }
+                    if w > 0 && i_idx <= w && j_idx <= w {
+                        shared.write_u8((i_idx - 1) * w + (j_idx - 1), byte);
+                        counters.shared_bytes += 1;
+                    }
+                }
+
+                // Cyclic register rotation: discard the oldest diagonal.
+                s_prev[l] = s_cur[l];
+                s_cur[l] = s_store;
+                i_cur[l] = i_store;
+                d_cur[l] = d_store;
+
+                // Lane 31 spills the strip boundary for the next strip.
+                if l == WARP_SIZE - 1 && strip_base + WARP_SIZE < n {
+                    next_spill[i_idx] = Spill {
+                        s: s_store,
+                        i: i_store,
+                    };
+                }
+            }
+
+            if active_lanes == 0 {
+                break;
+            }
+
+            counters.steps += 1;
+            counters.cells += active_lanes;
+            counters.alu_ops += 9 * WARP_SIZE as u64;
+            if any_dead && any_live_lane {
+                counters.divergent_steps += 1;
+            }
+            if cfg.cyclic_buffers {
+                // Only the boundary lane writes scores (12 B: S, I, D).
+                if strip_base + WARP_SIZE < n {
+                    counters.global_written += 12;
+                }
+            } else {
+                // Every active lane round-trips its 12 B of scores.
+                counters.global_written += 12 * active_lanes;
+            }
+
+            // Update the lagged threshold source.
+            let expiring = diag_ring[t % WARP_SIZE];
+            lagged_best = lagged_best.max(expiring);
+            diag_ring[t % WARP_SIZE] = step_max;
+
+            if live_this_step {
+                last_live_t = t as i64;
+            } else if t as i64 - last_live_t >= WARP_SIZE as i64 {
+                // A full diagonal window has been dead; if no live spill
+                // input remains ahead of lane 0, nothing downstream can
+                // revive.
+                let threshold = best_score - ydrop;
+                let spill_rows = spill.len() - 1;
+                while spill_live_ptr <= spill_rows
+                    && (spill_live_ptr <= lane0_row
+                        || spill[spill_live_ptr].s.max(spill[spill_live_ptr].i) < threshold)
+                {
+                    spill_live_ptr += 1;
+                }
+                if spill_live_ptr > spill_rows {
+                    break;
+                }
+            }
+            t += 1;
+        }
+
+        if !strip_live {
+            break;
+        }
+
+        // Fold this strip's row maxima into the prefix-best array.
+        let mut running = NEG_INF;
+        for i in 0..=row_cap {
+            running = running.max(row_max_strip[i]);
+            row_prefix_best[i] = row_prefix_best[i].max(running).max(if i > 0 {
+                row_prefix_best[i - 1]
+            } else {
+                NEG_INF
+            });
+        }
+
+        // Grow the row cap for the next strip from this strip's deepest
+        // live row (see the reachability bound above); rows beyond the
+        // old cap inherit the prefix maximum.
+        let new_cap = m.min(live_max_row + delta);
+        if new_cap > row_cap {
+            let tail = row_prefix_best[row_cap];
+            row_prefix_best.resize(new_cap + 1, tail);
+        }
+        row_cap = new_cap;
+
+        strip_base += WARP_SIZE;
+        if strip_base >= n {
+            break;
+        }
+        // The boundary spill is consumed by the same warp on the very next
+        // strip, so the reload hits L2 — like the paper's §6 accounting we
+        // charge only the 12 B/step write side to DRAM.
+        spill = next_spill;
+    }
+
+    // Eager traceback: finish in the inspector if the optimum fits the
+    // shared-memory window.
+    let eager_ops = if w > 0 && best_i <= w && best_j <= w {
+        let get = |i: usize, j: usize| -> u8 {
+            if i == 0 && j == 0 {
+                tb::S_ORIGIN
+            } else if i == 0 {
+                tb::S_FROM_I | if j > 1 { tb::I_EXTEND } else { 0 }
+            } else if j == 0 {
+                tb::S_FROM_D | if i > 1 { tb::D_EXTEND } else { 0 }
+            } else {
+                shared.read_u8((i - 1) * w + (j - 1))
+            }
+        };
+        let ops = walk_traceback_with(get, best_i, best_j);
+        counters.scalar_ops += ops.iter().map(|o| o.len() as u64).sum::<u64>();
+        Some(ops)
+    } else {
+        None
+    };
+
+    // Executor traceback walk (single lane; inter-seed parallelism only).
+    let ops = if cfg.record_traceback {
+        let get = |i: usize, j: usize| -> u8 {
+            if i == 0 && j == 0 {
+                tb::S_ORIGIN
+            } else if i == 0 {
+                tb::S_FROM_I | if j > 1 { tb::I_EXTEND } else { 0 }
+            } else if j == 0 {
+                tb::S_FROM_D | if i > 1 { tb::D_EXTEND } else { 0 }
+            } else {
+                let b = tbm[(i - 1) * n + (j - 1)];
+                if b & TB_WRITTEN == 0 {
+                    tb::S_ORIGIN
+                } else {
+                    b & 0x0F
+                }
+            }
+        };
+        let ops = walk_traceback_with(get, best_i, best_j);
+        let walked: u64 = ops.iter().map(|o| o.len() as u64).sum();
+        counters.scalar_ops += walked;
+        counters.global_read += walked; // 1 B read per traceback step
+        Some(ops)
+    } else {
+        None
+    };
+
+    WarpExtension {
+        best_score,
+        best_i,
+        best_j,
+        eager_ops,
+        ops,
+        counters,
+        explored_rows,
+        explored_cols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_align::ydrop::{ydrop_extend, PruneMode};
+    use fastz_genome::evolve::random_codes;
+    use fastz_genome::{GapPenalties, Scoring, Sequence, SubstMatrix};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        Sequence::from_ascii("x", s).unwrap().codes().to_vec()
+    }
+
+    fn scoring() -> Scoring {
+        Scoring {
+            subst: SubstMatrix::match_mismatch(10, -15),
+            gaps: GapPenalties::new(30, 5),
+            ydrop: 120,
+            xdrop: 40,
+            hsp_threshold: 50,
+            gapped_threshold: 50,
+        }
+    }
+
+    fn inspector_cfg() -> WarpConfig {
+        WarpConfig::inspector(&OptFlags::fastz())
+    }
+
+    fn run(t: &[u8], q: &[u8], cfg: &WarpConfig) -> WarpExtension {
+        let mut shared = SharedMem::new(96 * 1024);
+        warp_extend(t, q, &scoring(), cfg, &mut shared)
+    }
+
+    #[test]
+    fn empty_inputs_return_origin() {
+        let r = run(&[], &[], &inspector_cfg());
+        assert_eq!(r.best_score, 0);
+        assert_eq!(r.eager_ops.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn perfect_match_within_one_strip() {
+        let t = codes(b"ACGTACGTAC");
+        let r = run(&t, &t, &inspector_cfg());
+        assert_eq!(r.best_score, 100);
+        assert_eq!((r.best_i, r.best_j), (10, 10));
+        assert_eq!(r.eager_ops.unwrap(), vec![EditOp::Diag(10)]);
+    }
+
+    #[test]
+    fn perfect_match_across_many_strips() {
+        let t: Vec<u8> = random_codes(500, 0.5, &mut SmallRng::seed_from_u64(1));
+        let r = run(&t, &t, &inspector_cfg());
+        assert_eq!(r.best_score, 5000);
+        assert_eq!((r.best_i, r.best_j), (500, 500));
+        // Too long for the eager window.
+        assert!(r.eager_ops.is_none());
+    }
+
+    #[test]
+    fn matches_exact_engine_on_clean_homology() {
+        let sc = scoring();
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let t = random_codes(300, 0.45, &mut rng);
+            // Query: noisy copy with one small indel.
+            let mut q = t.clone();
+            for b in q.iter_mut() {
+                if rng.gen_bool(0.05) {
+                    *b = (*b + 1 + rng.gen_range(0..3)) % 4;
+                }
+            }
+            let cut = rng.gen_range(50..250);
+            q.splice(cut..cut + 2, []);
+            let exact = ydrop_extend(&t, &q, &sc, PruneMode::Exact, false);
+            let warp = run(&t, &q, &inspector_cfg());
+            assert!(
+                warp.best_score >= exact.best_score,
+                "seed {seed}: warp {} < exact {}",
+                warp.best_score,
+                exact.best_score
+            );
+        }
+    }
+
+    #[test]
+    fn equality_with_exact_engine_is_the_common_case() {
+        let sc = scoring();
+        let mut equal = 0;
+        let total = 50;
+        for seed in 0..total {
+            let mut rng = SmallRng::seed_from_u64(1000 + seed);
+            let t = random_codes(200, 0.5, &mut rng);
+            let mut q = t.clone();
+            for b in q.iter_mut() {
+                if rng.gen_bool(0.08) {
+                    *b = (*b + 1 + rng.gen_range(0..3)) % 4;
+                }
+            }
+            let exact = ydrop_extend(&t, &q, &sc, PruneMode::Exact, false);
+            let warp = run(&t, &q, &inspector_cfg());
+            assert!(warp.best_score >= exact.best_score, "seed {seed}");
+            if warp.best_score == exact.best_score {
+                equal += 1;
+            }
+        }
+        assert!(
+            equal as f64 / total as f64 > 0.9,
+            "only {equal}/{total} matched the exact engine"
+        );
+    }
+
+    #[test]
+    fn executor_traceback_rescores_to_best() {
+        let sc = scoring();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = random_codes(180, 0.5, &mut rng);
+        let mut q = t.clone();
+        q.splice(60..63, []); // 3-bp deletion
+        let insp = run(&t, &q, &inspector_cfg());
+        let exec_cfg = WarpConfig::executor(&OptFlags::fastz(), insp.best_i, insp.best_j);
+        let exec = run(&t, &q, &exec_cfg);
+        assert_eq!(exec.best_score, insp.best_score, "trimming changed the optimum");
+        assert_eq!((exec.best_i, exec.best_j), (insp.best_i, insp.best_j));
+        let ops = exec.ops.unwrap();
+        // Re-score the edit script.
+        let (mut ti, mut qi, mut score) = (0usize, 0usize, 0i32);
+        for op in &ops {
+            match *op {
+                EditOp::Diag(k) => {
+                    for _ in 0..k {
+                        score += sc.subst.score(t[ti], q[qi]);
+                        ti += 1;
+                        qi += 1;
+                    }
+                }
+                EditOp::GapQ(k) => {
+                    score -= sc.gaps.gap_cost(k as usize);
+                    ti += k as usize;
+                }
+                EditOp::GapT(k) => {
+                    score -= sc.gaps.gap_cost(k as usize);
+                    qi += k as usize;
+                }
+            }
+        }
+        assert_eq!((ti, qi), (exec.best_j, exec.best_i));
+        assert_eq!(score, exec.best_score);
+    }
+
+    #[test]
+    fn eager_window_only_fires_for_short_alignments() {
+        // 8-bp homology then garbage: optimum at (8, 8) fits the window.
+        let mut t = codes(b"ACGTACGT");
+        let mut q = t.clone();
+        t.extend(codes(&vec![b'C'; 100]));
+        q.extend(codes(&vec![b'G'; 100]));
+        let r = run(&t, &q, &inspector_cfg());
+        assert_eq!(r.best_score, 80);
+        assert_eq!(r.eager_ops.unwrap(), vec![EditOp::Diag(8)]);
+
+        // 20-bp homology: outside the 16×16 window.
+        let mut t = codes(&b"ACGT".repeat(5));
+        let mut q = t.clone();
+        t.extend(codes(&vec![b'C'; 100]));
+        q.extend(codes(&vec![b'G'; 100]));
+        let r = run(&t, &q, &inspector_cfg());
+        assert_eq!(r.best_score, 200);
+        assert!(r.eager_ops.is_none());
+    }
+
+    #[test]
+    fn cyclic_buffers_cut_score_traffic_but_not_results() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let t = random_codes(400, 0.5, &mut rng);
+        let with = run(&t, &t, &inspector_cfg());
+        let without_cfg = WarpConfig {
+            cyclic_buffers: false,
+            ..inspector_cfg()
+        };
+        let without = run(&t, &t, &without_cfg);
+        assert_eq!(with.best_score, without.best_score);
+        assert_eq!(with.counters.cells, without.counters.cells);
+        assert!(
+            without.counters.global_written > 20 * with.counters.global_written,
+            "cyclic {} vs naive {}",
+            with.counters.global_written,
+            without.counters.global_written
+        );
+    }
+
+    #[test]
+    fn ydrop_terminates_search_in_garbage() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = random_codes(4000, 0.5, &mut rng);
+        let q = random_codes(4000, 0.5, &mut rng);
+        let r = run(&t, &q, &inspector_cfg());
+        assert!(
+            r.counters.cells < 3_000_000,
+            "explored {} cells of unrelated sequence",
+            r.counters.cells
+        );
+    }
+
+    #[test]
+    fn trimmed_executor_computes_fewer_cells() {
+        // Short homology inside long junk: the inspector searches far, the
+        // trimmed executor recomputes only the optimal rectangle.
+        let mut t = codes(&b"ACGT".repeat(10));
+        let mut q = t.clone();
+        let mut rng = SmallRng::seed_from_u64(13);
+        t.extend(random_codes(2000, 0.5, &mut rng));
+        q.extend(random_codes(2000, 0.5, &mut rng));
+        let insp = run(&t, &q, &inspector_cfg());
+        assert_eq!((insp.best_i, insp.best_j), (40, 40));
+        let trimmed = run(
+            &t,
+            &q,
+            &WarpConfig::executor(&OptFlags::fastz(), insp.best_i, insp.best_j),
+        );
+        let untrimmed = run(
+            &t,
+            &q,
+            &WarpConfig::executor(&OptFlags::with_eager(), insp.best_i, insp.best_j),
+        );
+        assert_eq!(trimmed.best_score, untrimmed.best_score);
+        assert!(
+            trimmed.counters.cells * 4 < untrimmed.counters.cells,
+            "trimmed {} vs untrimmed {}",
+            trimmed.counters.cells,
+            untrimmed.counters.cells
+        );
+    }
+
+    #[test]
+    fn counters_account_steps_and_cells() {
+        let t = codes(b"ACGTACGTACGTACGTACGT");
+        let r = run(&t, &t, &inspector_cfg());
+        assert!(r.counters.steps > 0);
+        assert!(r.counters.cells >= 20);
+        assert_eq!(r.counters.alu_ops, r.counters.steps * 9 * 32);
+        assert!(r.counters.shuffles >= 3 * r.counters.steps);
+    }
+}

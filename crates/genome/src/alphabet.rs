@@ -1,0 +1,212 @@
+//! DNA alphabet: base codes, ASCII conversion, and complementation.
+//!
+//! Bases are stored internally as small integer *codes* so that DP inner
+//! loops can index substitution matrices directly without branching:
+//!
+//! | base | code |
+//! |------|------|
+//! | A    | 0    |
+//! | C    | 1    |
+//! | G    | 2    |
+//! | T    | 3    |
+//! | N    | 4    |
+//!
+//! `N` (any/unknown) is a first-class code because real FASTA inputs contain
+//! runs of `N`; scoring treats it as a strong mismatch against everything so
+//! that alignments never extend through unknown sequence.
+
+/// Number of distinct base codes (A, C, G, T, N).
+pub const ALPHABET_SIZE: usize = 5;
+
+/// Code for an unknown base.
+pub const N_CODE: u8 = 4;
+
+/// A single DNA base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine
+    A = 0,
+    /// Cytosine
+    C = 1,
+    /// Guanine
+    G = 2,
+    /// Thymine
+    T = 3,
+    /// Unknown / masked
+    N = 4,
+}
+
+impl Base {
+    /// All four concrete nucleotides (excludes [`Base::N`]).
+    pub const NUCLEOTIDES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Converts an internal code (0..=4) to a `Base`.
+    ///
+    /// # Panics
+    /// Panics if `code > 4`.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            4 => Base::N,
+            _ => panic!("invalid base code {code}"),
+        }
+    }
+
+    /// The internal code of this base (0..=4).
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses an ASCII nucleotide character (case-insensitive).
+    /// Any IUPAC ambiguity character other than ACGT maps to `N`.
+    /// Returns `None` for characters that are not plausible sequence
+    /// characters at all (digits, punctuation other than `-`).
+    #[inline]
+    pub fn from_ascii(ch: u8) -> Option<Base> {
+        match ch.to_ascii_uppercase() {
+            b'A' => Some(Base::A),
+            b'C' => Some(Base::C),
+            b'G' => Some(Base::G),
+            b'T' | b'U' => Some(Base::T),
+            // IUPAC ambiguity codes degrade to N.
+            b'N' | b'R' | b'Y' | b'S' | b'W' | b'K' | b'M' | b'B' | b'D' | b'H' | b'V'
+            | b'X' => Some(Base::N),
+            _ => None,
+        }
+    }
+
+    /// The ASCII (uppercase) representation of this base.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+            Base::N => b'N',
+        }
+    }
+
+    /// Watson–Crick complement. `N` complements to `N`.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+            Base::N => Base::N,
+        }
+    }
+}
+
+/// Complements a base *code* without constructing a [`Base`].
+///
+/// Codes 0..=3 map to `3 - code` (A<->T, C<->G); `N` stays `N`.
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    if code >= N_CODE {
+        N_CODE
+    } else {
+        3 - code
+    }
+}
+
+/// Converts an ASCII byte slice into base codes, mapping unknown
+/// characters to `N` and skipping nothing. Returns `None` if any byte is
+/// not a plausible sequence character.
+pub fn codes_from_ascii(ascii: &[u8]) -> Option<Vec<u8>> {
+    ascii
+        .iter()
+        .map(|&ch| Base::from_ascii(ch).map(Base::code))
+        .collect()
+}
+
+/// Converts base codes to uppercase ASCII.
+pub fn codes_to_ascii(codes: &[u8]) -> Vec<u8> {
+    codes
+        .iter()
+        .map(|&c| Base::from_code(c).to_ascii())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..=4u8 {
+            assert_eq!(Base::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        for b in [Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+        }
+    }
+
+    #[test]
+    fn lowercase_parses() {
+        assert_eq!(Base::from_ascii(b'a'), Some(Base::A));
+        assert_eq!(Base::from_ascii(b't'), Some(Base::T));
+        assert_eq!(Base::from_ascii(b'n'), Some(Base::N));
+    }
+
+    #[test]
+    fn uracil_maps_to_t() {
+        assert_eq!(Base::from_ascii(b'U'), Some(Base::T));
+    }
+
+    #[test]
+    fn iupac_ambiguity_maps_to_n() {
+        for ch in b"RYSWKMBDHVX" {
+            assert_eq!(Base::from_ascii(*ch), Some(Base::N), "char {}", *ch as char);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(Base::from_ascii(b'1'), None);
+        assert_eq!(Base::from_ascii(b'*'), None);
+        assert_eq!(Base::from_ascii(b' '), None);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::NUCLEOTIDES {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::N.complement(), Base::N);
+    }
+
+    #[test]
+    fn complement_code_matches_base_complement() {
+        for code in 0..=4u8 {
+            assert_eq!(
+                complement_code(code),
+                Base::from_code(code).complement().code()
+            );
+        }
+    }
+
+    #[test]
+    fn codes_from_ascii_whole_string() {
+        let codes = codes_from_ascii(b"ACGTNacgtn").unwrap();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
+        assert!(codes_from_ascii(b"ACG!T").is_none());
+    }
+
+    #[test]
+    fn codes_to_ascii_uppercases() {
+        assert_eq!(codes_to_ascii(&[0, 1, 2, 3, 4]), b"ACGTN".to_vec());
+    }
+}

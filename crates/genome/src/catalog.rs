@@ -1,0 +1,428 @@
+//! The benchmark-pair catalog (paper Table 1, Figure 6, Figure 10).
+//!
+//! Each entry names a pairwise alignment benchmark from the paper and
+//! carries (a) the real chromosome sizes from Table 1 and (b) the synthetic
+//! mixture tuning that reproduces that pair's alignment-length distribution
+//! (Table 2 row). Harnesses call [`CatalogPair::pair_params`] with a
+//! [`Scale`] to obtain generation parameters at a tractable size.
+
+use crate::evolve::{
+    cross_genus_classes, default_classes, HomologyClass, MutationRates, PairParams,
+};
+
+/// Genus grouping used for labels and plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Genus {
+    /// Caenorhabditis nematodes (C. elegans vs C. briggsae).
+    Nematode,
+    /// Drosophila fruit flies.
+    FruitFly,
+    /// Anopheles mosquitoes.
+    Mosquito,
+    /// Cross-genus comparison (dissimilar genomes, §5.4).
+    Cross,
+}
+
+/// Relative abundance of the largest conserved segments, which determines
+/// the pair's Table 2 bin-3/bin-4 tail and hence its speedup rank in
+/// Figures 7 and 8.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixtureTuning {
+    /// Weight of the `medium` (~1-2 kbp) class.
+    pub medium: f64,
+    /// Weight of the `large` (~4-8 kbp) class.
+    pub large: f64,
+    /// Weight of the `huge` (bin-4) class.
+    pub huge: f64,
+    /// Optional override of the huge class's length range (pairs whose
+    /// Table 2 bin-4 alignments sit near the lower bin edge).
+    pub huge_range: Option<(usize, usize)>,
+}
+
+/// One benchmark pair.
+#[derive(Clone, Debug)]
+pub struct CatalogPair {
+    /// Paper label, e.g. `"C1_1,1"`.
+    pub label: &'static str,
+    /// Genus group.
+    pub genus: Genus,
+    /// Target species/chromosome description.
+    pub target_desc: &'static str,
+    /// Query species/chromosome description.
+    pub query_desc: &'static str,
+    /// Real target chromosome length in bp (Table 1).
+    pub target_bp: usize,
+    /// Real query chromosome length in bp (Table 1).
+    pub query_bp: usize,
+    /// Mixture tuning for the long-segment tail.
+    pub tuning: MixtureTuning,
+    /// Deterministic RNG seed for this pair.
+    pub rng_seed: u64,
+}
+
+/// Workload scale: real chromosome lengths are divided by `divisor`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Length divisor relative to the real chromosomes.
+    pub divisor: usize,
+}
+
+impl Scale {
+    /// Quick scale for tests (~1/500 of real size: 25-60 kbp sequences).
+    pub const TEST: Scale = Scale { divisor: 500 };
+    /// Default bench scale (~1/100: 120-310 kbp sequences).
+    pub const BENCH: Scale = Scale { divisor: 100 };
+    /// Large evaluation scale (~1/20: 0.6-1.5 Mbp sequences).
+    pub const LARGE: Scale = Scale { divisor: 20 };
+}
+
+impl CatalogPair {
+    /// Mean planted-segment spacing (one segment per this many target bp).
+    const SEGMENT_SPACING: usize = 550;
+
+    /// Builds the class mixture for this pair: the shared tiny/small head
+    /// plus this pair's tuned long-segment tail.
+    pub fn classes(&self) -> Vec<HomologyClass> {
+        let mut classes = if self.genus == Genus::Cross {
+            cross_genus_classes()
+        } else {
+            default_classes()
+        };
+        for c in classes.iter_mut() {
+            match c.name {
+                "medium" => c.weight = self.tuning.medium,
+                "large" => c.weight = self.tuning.large,
+                "huge" => {
+                    c.weight = self.tuning.huge;
+                    if let Some(r) = self.tuning.huge_range {
+                        c.len_range = r;
+                    }
+                }
+                _ => {}
+            }
+        }
+        classes.retain(|c| c.weight > 0.0);
+        classes
+    }
+
+    /// Generation parameters at the given scale.
+    pub fn pair_params(&self, scale: Scale) -> PairParams {
+        let target_len = (self.target_bp / scale.divisor).max(20_000);
+        let query_len = (self.query_bp / scale.divisor).max(20_000);
+        PairParams {
+            label: self.label.to_string(),
+            target_len,
+            query_len,
+            segments: (target_len / Self::SEGMENT_SPACING).max(8),
+            classes: self.classes(),
+            gc: if self.genus == Genus::Nematode { 0.36 } else { 0.42 },
+            rng_seed: self.rng_seed,
+        }
+    }
+}
+
+/// The nine within-genus benchmark pairs (Figure 6), ordered as in the
+/// paper's Table 2 (decreasing bin-4 count).
+pub fn within_genus_pairs() -> Vec<CatalogPair> {
+    vec![
+        CatalogPair {
+            label: "C1_5,5",
+            genus: Genus::Nematode,
+            target_desc: "C. elegans chr5",
+            query_desc: "C. briggsae chr5",
+            target_bp: 20_924_180,
+            query_bp: 19_495_157,
+            tuning: MixtureTuning { medium: 1.6, large: 0.80, huge: 0.80, huge_range: None },
+            rng_seed: 0xC155 + 7919, // draw: 3 huge segments, 56 kbp (Table 2's largest bin-4 tail)
+        },
+        CatalogPair {
+            label: "C1_2,2",
+            genus: Genus::Nematode,
+            target_desc: "C. elegans chr2",
+            query_desc: "C. briggsae chr2",
+            target_bp: 15_279_421,
+            query_bp: 16_627_154,
+            tuning: MixtureTuning { medium: 1.8, large: 0.75, huge: 0.65, huge_range: None },
+            rng_seed: 0xC122,
+        },
+        CatalogPair {
+            label: "C1_1,1",
+            genus: Genus::Nematode,
+            target_desc: "C. elegans chr1",
+            query_desc: "C. briggsae chr1",
+            target_bp: 15_072_434,
+            query_bp: 15_455_979,
+            tuning: MixtureTuning { medium: 2.2, large: 0.70, huge: 0.55, huge_range: None },
+            rng_seed: 0xC111 + 6 * 7919, // draw: 2 huge segments, 39 kbp
+        },
+        CatalogPair {
+            label: "C1_3,3",
+            genus: Genus::Nematode,
+            target_desc: "C. elegans chr3",
+            query_desc: "C. briggsae chr3",
+            target_bp: 13_783_801,
+            query_bp: 14_578_851,
+            tuning: MixtureTuning { medium: 2.5, large: 0.65, huge: 0.45, huge_range: None },
+            rng_seed: 0xC133,
+        },
+        CatalogPair {
+            label: "C1_4,4",
+            genus: Genus::Nematode,
+            target_desc: "C. elegans chr4",
+            query_desc: "C. briggsae chr4",
+            target_bp: 17_493_829,
+            query_bp: 17_485_439,
+            tuning: MixtureTuning { medium: 1.4, large: 0.45, huge: 0.15, huge_range: Some((9_000, 12_500)) },
+            rng_seed: 0xC144,
+        },
+        CatalogPair {
+            label: "A1_X,X",
+            genus: Genus::Mosquito,
+            target_desc: "A. albimanus chrX",
+            query_desc: "A. atroparvus chrX",
+            target_bp: 12_318_379,
+            query_bp: 17_503_697,
+            tuning: MixtureTuning { medium: 0.55, large: 0.26, huge: 0.17, huge_range: Some((9_000, 12_500)) },
+            rng_seed: 0xA1 + 2 * 7919, // draw: 1 huge segment, 16 kbp
+        },
+        CatalogPair {
+            label: "A2_X,X",
+            genus: Genus::Mosquito,
+            target_desc: "A. albimanus chrX",
+            query_desc: "A. gambiae chrX",
+            target_bp: 12_318_379,
+            query_bp: 24_393_108,
+            tuning: MixtureTuning { medium: 0.70, large: 0.22, huge: 0.15, huge_range: Some((9_000, 12_500)) },
+            rng_seed: 0xA2 + 3 * 7919, // draw: 1 huge segment, 20 kbp
+        },
+        CatalogPair {
+            label: "A3_X,X",
+            genus: Genus::Mosquito,
+            target_desc: "A. atroparvus chrX",
+            query_desc: "A. gambiae chrX",
+            target_bp: 17_503_697,
+            query_bp: 24_393_108,
+            tuning: MixtureTuning { medium: 0.95, large: 0.30, huge: 0.09, huge_range: Some((9_000, 12_500)) },
+            rng_seed: 0xA3 + 2 * 7919, // draw: 1 huge segment, 18 kbp
+        },
+        CatalogPair {
+            label: "D1_2R,2",
+            genus: Genus::FruitFly,
+            target_desc: "D. melanogaster chr2R",
+            query_desc: "D. pseudoobscura chr2",
+            target_bp: 25_286_936,
+            query_bp: 30_794_189,
+            tuning: MixtureTuning { medium: 0.035, large: 0.003, huge: 0.0, huge_range: None },
+            rng_seed: 0xD1,
+        },
+    ]
+}
+
+/// The six cross-genus benchmark pairs (Figure 10, §5.4). Dissimilar
+/// genomes: no alignments in the two largest size bins.
+pub fn cross_genus_pairs() -> Vec<CatalogPair> {
+    let tuning = MixtureTuning { medium: 0.10, large: 0.0, huge: 0.0, huge_range: None };
+    vec![
+        CatalogPair {
+            label: "CD_1,2R",
+            genus: Genus::Cross,
+            target_desc: "C. elegans chr1",
+            query_desc: "D. melanogaster chr2R",
+            target_bp: 15_072_434,
+            query_bp: 25_286_936,
+            tuning,
+            rng_seed: 0xCD12,
+        },
+        CatalogPair {
+            label: "CA_1,X",
+            genus: Genus::Cross,
+            target_desc: "C. elegans chr1",
+            query_desc: "A. gambiae chrX",
+            target_bp: 15_072_434,
+            query_bp: 24_393_108,
+            tuning,
+            rng_seed: 0xCA1A,
+        },
+        CatalogPair {
+            label: "DA_2R,X",
+            genus: Genus::Cross,
+            target_desc: "D. melanogaster chr2R",
+            query_desc: "A. gambiae chrX",
+            target_bp: 25_286_936,
+            query_bp: 24_393_108,
+            tuning,
+            rng_seed: 0xDA2A,
+        },
+        CatalogPair {
+            label: "CD_5,2",
+            genus: Genus::Cross,
+            target_desc: "C. elegans chr5",
+            query_desc: "D. pseudoobscura chr2",
+            target_bp: 20_924_180,
+            query_bp: 30_794_189,
+            tuning,
+            rng_seed: 0xCD52,
+        },
+        CatalogPair {
+            label: "CA_5,X",
+            genus: Genus::Cross,
+            target_desc: "C. briggsae chr5",
+            query_desc: "A. atroparvus chrX",
+            target_bp: 19_495_157,
+            query_bp: 17_503_697,
+            tuning,
+            rng_seed: 0xCA5A,
+        },
+        CatalogPair {
+            label: "DA_2,X",
+            genus: Genus::Cross,
+            target_desc: "D. pseudoobscura chr2",
+            query_desc: "A. albimanus chrX",
+            target_bp: 30_794_189,
+            query_bp: 12_318_379,
+            tuning,
+            rng_seed: 0xDA2B,
+        },
+    ]
+}
+
+/// Looks up any catalog pair (within- or cross-genus) by its label.
+pub fn find_pair(label: &str) -> Option<CatalogPair> {
+    within_genus_pairs()
+        .into_iter()
+        .chain(cross_genus_pairs())
+        .find(|p| p.label == label)
+}
+
+/// The seven species of Table 1: (common group, species/chromosome, bp).
+pub fn table1_genomes() -> Vec<(&'static str, &'static str, usize)> {
+    vec![
+        ("Nematodes", "C. elegans (chr1)", 15_072_434),
+        ("Nematodes", "C. briggsae (chr1)", 15_455_979),
+        ("Nematodes", "C. elegans (chr2)", 15_279_421),
+        ("Nematodes", "C. briggsae (chr2)", 16_627_154),
+        ("Nematodes", "C. elegans (chr3)", 13_783_801),
+        ("Nematodes", "C. briggsae (chr3)", 14_578_851),
+        ("Nematodes", "C. elegans (chr4)", 17_493_829),
+        ("Nematodes", "C. briggsae (chr4)", 17_485_439),
+        ("Nematodes", "C. elegans (chr5)", 20_924_180),
+        ("Nematodes", "C. briggsae (chr5)", 19_495_157),
+        ("Fruit flies", "D. melanogaster (chr2R)", 25_286_936),
+        ("Fruit flies", "D. pseudoobscura (chr2)", 30_794_189),
+        ("Mosquitoes", "A. albimanus (chrX)", 12_318_379),
+        ("Mosquitoes", "A. atroparvus (chrX)", 17_503_697),
+        ("Mosquitoes", "A. gambiae (chrX)", 24_393_108),
+    ]
+}
+
+/// Verifies the class list for a pair never loses the tiny/small head.
+fn _assert_mixture_invariants(classes: &[HomologyClass]) {
+    debug_assert!(classes.iter().any(|c| c.name == "tiny"));
+    debug_assert!(classes.iter().any(|c| c.name == "small"));
+    debug_assert!(classes.iter().all(|c| c.rates.substitution < 0.5));
+    let _ = MutationRates::IDENTITY;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::generate_pair;
+
+    #[test]
+    fn nine_within_genus_pairs_in_table2_order() {
+        let pairs = within_genus_pairs();
+        assert_eq!(pairs.len(), 9);
+        let labels: Vec<_> = pairs.iter().map(|p| p.label).collect();
+        assert_eq!(
+            labels,
+            [
+                "C1_5,5", "C1_2,2", "C1_1,1", "C1_3,3", "C1_4,4", "A1_X,X", "A2_X,X", "A3_X,X",
+                "D1_2R,2"
+            ]
+        );
+        // Table 2 ordering: decreasing *expected* huge-segment count
+        // (weight × planted segments) at bench scale.
+        let expected = |p: &CatalogPair| {
+            let params = p.pair_params(Scale::BENCH);
+            let total: f64 = params.classes.iter().map(|c| c.weight).sum();
+            params.segments as f64 * p.tuning.huge / total
+        };
+        for w in pairs.windows(2) {
+            assert!(
+                expected(&w[0]) >= expected(&w[1]),
+                "{} ({:.2}) vs {} ({:.2})",
+                w[0].label,
+                expected(&w[0]),
+                w[1].label,
+                expected(&w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn six_cross_genus_pairs_without_large_tail() {
+        let pairs = cross_genus_pairs();
+        assert_eq!(pairs.len(), 6);
+        for p in &pairs {
+            assert_eq!(p.genus, Genus::Cross);
+            assert_eq!(p.tuning.large, 0.0);
+            assert_eq!(p.tuning.huge, 0.0);
+        }
+    }
+
+    #[test]
+    fn real_sizes_match_table1() {
+        let p = find_pair("C1_1,1").unwrap();
+        assert_eq!(p.target_bp, 15_072_434);
+        assert_eq!(p.query_bp, 15_455_979);
+        assert_eq!(table1_genomes().len(), 15);
+    }
+
+    #[test]
+    fn find_pair_misses_gracefully() {
+        assert!(find_pair("nope").is_none());
+        assert!(find_pair("CD_1,2R").is_some());
+    }
+
+    #[test]
+    fn rng_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = within_genus_pairs()
+            .iter()
+            .chain(cross_genus_pairs().iter())
+            .map(|p| p.rng_seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 15);
+    }
+
+    #[test]
+    fn pair_params_scale() {
+        let p = find_pair("C1_1,1").unwrap();
+        let test = p.pair_params(Scale::TEST);
+        let bench = p.pair_params(Scale::BENCH);
+        assert!(test.target_len < bench.target_len);
+        assert_eq!(bench.target_len, 15_072_434 / 100);
+        assert!(test.segments >= 8);
+    }
+
+    #[test]
+    fn catalog_pairs_generate() {
+        let p = find_pair("D1_2R,2").unwrap();
+        let pair = generate_pair(&p.pair_params(Scale::TEST));
+        assert!(pair.target.len() > 10_000);
+        assert!(!pair.truth.is_empty());
+        // D1 has essentially no large/huge segments.
+        assert!(pair
+            .truth
+            .iter()
+            .all(|s| s.class != "huge" && s.class != "large" || s.target_len < 14_001));
+    }
+
+    #[test]
+    fn cross_genus_generates_only_short_segments() {
+        let p = find_pair("CA_1,X").unwrap();
+        let pair = generate_pair(&p.pair_params(Scale::TEST));
+        assert!(pair.truth.iter().all(|s| s.target_len <= 2_500));
+    }
+}

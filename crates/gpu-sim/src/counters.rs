@@ -1,0 +1,136 @@
+//! Work accounting: what a kernel *did*, measured during functional
+//! execution and consumed by the timing model.
+
+/// Counters for one warp task (one seed-extension side in FastZ).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarpCounters {
+    /// Wavefront steps executed (warp-synchronous iterations).
+    pub steps: u64,
+    /// DP cells computed across all lanes.
+    pub cells: u64,
+    /// Scalar ALU operations (pre-derating; the recurrences cost 9/cell).
+    pub alu_ops: u64,
+    /// Steps on which at least one branch diverged.
+    pub divergent_steps: u64,
+    /// Bytes read from global memory.
+    pub global_read: u64,
+    /// Bytes written to global memory.
+    pub global_written: u64,
+    /// Bytes moved through shared memory (no DRAM traffic).
+    pub shared_bytes: u64,
+    /// Warp-level shuffle operations.
+    pub shuffles: u64,
+    /// Sequential (single-lane) operations, e.g. the traceback walk.
+    pub scalar_ops: u64,
+}
+
+impl WarpCounters {
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: &WarpCounters) {
+        self.steps += other.steps;
+        self.cells += other.cells;
+        self.alu_ops += other.alu_ops;
+        self.divergent_steps += other.divergent_steps;
+        self.global_read += other.global_read;
+        self.global_written += other.global_written;
+        self.shared_bytes += other.shared_bytes;
+        self.shuffles += other.shuffles;
+        self.scalar_ops += other.scalar_ops;
+    }
+
+    /// Total global-memory traffic in bytes.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read + self.global_written
+    }
+
+    /// Operational intensity: ALU ops per global byte (∞ if no traffic).
+    pub fn operational_intensity(&self) -> f64 {
+        let bytes = self.global_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.alu_ops as f64 / bytes as f64
+        }
+    }
+}
+
+/// Aggregated counters for a whole kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Sum over all warp tasks.
+    pub total: WarpCounters,
+    /// Number of warp tasks.
+    pub tasks: u64,
+}
+
+impl KernelCounters {
+    /// Adds one task's counters.
+    pub fn add_task(&mut self, c: &WarpCounters) {
+        self.total.merge(c);
+        self.tasks += 1;
+    }
+
+    /// Merges a whole kernel's counters (e.g. across bins).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.total.merge(&other.total);
+        self.tasks += other.tasks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let a = WarpCounters {
+            steps: 1,
+            cells: 2,
+            alu_ops: 3,
+            divergent_steps: 4,
+            global_read: 5,
+            global_written: 6,
+            shared_bytes: 7,
+            shuffles: 8,
+            scalar_ops: 9,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.steps, 2);
+        assert_eq!(b.cells, 4);
+        assert_eq!(b.global_bytes(), 22);
+        assert_eq!(b.scalar_ops, 18);
+    }
+
+    #[test]
+    fn operational_intensity() {
+        let c = WarpCounters {
+            alu_ops: 288,
+            global_read: 12,
+            global_written: 32,
+            ..WarpCounters::default()
+        };
+        // §6's executor example: 288 ops per 44 bytes ≈ 6.5 ops/byte.
+        assert!((c.operational_intensity() - 6.545).abs() < 0.01);
+        let no_traffic = WarpCounters::default();
+        assert!(no_traffic.operational_intensity().is_infinite());
+    }
+
+    #[test]
+    fn kernel_counters_track_tasks() {
+        let mut k = KernelCounters::default();
+        k.add_task(&WarpCounters {
+            cells: 10,
+            ..Default::default()
+        });
+        k.add_task(&WarpCounters {
+            cells: 20,
+            ..Default::default()
+        });
+        assert_eq!(k.tasks, 2);
+        assert_eq!(k.total.cells, 30);
+        let mut k2 = KernelCounters::default();
+        k2.merge(&k);
+        assert_eq!(k2.tasks, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Occupancy: how many blocks/warps of a kernel fit on one SM.
+//!
+//! FastZ's register-resident cyclic buffers trade register pressure for
+//! memory traffic (paper §3.2: 36 B of live diagonal state per thread);
+//! the occupancy calculator shows that trade is affordable — the paper's
+//! example of 2 blocks × 64 warps × 36 B would blow out Shared Memory
+//! (144 KB) but fits easily in the register file.
+
+use crate::device::DeviceSpec;
+
+/// Per-block resource demands of a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Warps per threadblock.
+    pub warps_per_block: usize,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared-memory bytes per block.
+    pub shared_bytes_per_block: usize,
+}
+
+impl BlockResources {
+    /// FastZ's inspector: one warp per block-slot unit of 8 warps,
+    /// cyclic buffers in registers (3 diagonals × 3 matrices = 9 values
+    /// plus ~23 bookkeeping registers), eager-traceback window in shared.
+    pub fn fastz_inspector() -> BlockResources {
+        BlockResources {
+            warps_per_block: 8,
+            regs_per_thread: 40,
+            shared_bytes_per_block: 8 * 256, // one 16×16 window per warp
+        }
+    }
+
+    /// FastZ's executor: adds the shared-memory traceback staging tiles
+    /// (one 128-byte cache block per warp).
+    pub fn fastz_executor() -> BlockResources {
+        BlockResources {
+            warps_per_block: 8,
+            regs_per_thread: 48,
+            shared_bytes_per_block: 8 * (256 + 128),
+        }
+    }
+}
+
+/// What bound the occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// The SM's resident-warp ceiling.
+    Warps,
+    /// The register file.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMem,
+}
+
+/// Occupancy result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// The binding resource.
+    pub limit: OccupancyLimit,
+}
+
+/// Computes occupancy of `res` on `device`.
+pub fn occupancy(device: &DeviceSpec, res: &BlockResources) -> Occupancy {
+    assert!(res.warps_per_block > 0, "empty block");
+    let by_warps = device.max_warps_per_sm / res.warps_per_block;
+    let regs_per_block = res.regs_per_thread.max(1) * res.warps_per_block * 32;
+    let by_regs = device.regs_per_sm / regs_per_block;
+    let by_shared = if res.shared_bytes_per_block == 0 {
+        usize::MAX
+    } else {
+        device.shared_kib_per_sm * 1024 / res.shared_bytes_per_block
+    };
+
+    let blocks = by_warps.min(by_regs).min(by_shared);
+    let limit = if blocks == by_warps {
+        OccupancyLimit::Warps
+    } else if blocks == by_regs {
+        OccupancyLimit::Registers
+    } else {
+        OccupancyLimit::SharedMem
+    };
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * res.warps_per_block,
+        limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inspector_occupancy_is_warp_limited_on_ampere() {
+        let dev = DeviceSpec::rtx3080_ampere();
+        let occ = occupancy(&dev, &BlockResources::fastz_inspector());
+        assert!(occ.warps_per_sm >= 32, "warps {:?}", occ);
+        assert_eq!(occ.warps_per_sm, occ.blocks_per_sm * 8);
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let dev = DeviceSpec::rtx3080_ampere();
+        let res = BlockResources {
+            warps_per_block: 8,
+            regs_per_thread: 255,
+            shared_bytes_per_block: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.limit, OccupancyLimit::Registers);
+        assert!(occ.warps_per_sm <= 8);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let dev = DeviceSpec::qv100_volta();
+        let res = BlockResources {
+            warps_per_block: 2,
+            regs_per_thread: 16,
+            shared_bytes_per_block: 48 * 1024,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.limit, OccupancyLimit::SharedMem);
+        assert_eq!(occ.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn papers_shared_memory_example_does_not_fit_but_registers_do() {
+        // §3.2: 2 blocks × 64 warps × 32 threads × 36 B = 144 KB exceeds
+        // Shared Memory; as registers, 36 B is 9 registers per thread —
+        // trivially resident.
+        let dev = DeviceSpec::rtx3080_ampere();
+        let state_bytes = 2 * 64 * 32 * 36;
+        assert!(state_bytes > dev.shared_kib_per_sm * 1024);
+        let regs_needed = 9; // 36 B / 4
+        assert!(regs_needed * 32 * 64 < dev.regs_per_sm);
+    }
+
+    #[test]
+    fn zero_shared_block_is_unbounded_by_shared() {
+        let dev = DeviceSpec::titan_x_pascal();
+        let res = BlockResources {
+            warps_per_block: 4,
+            regs_per_thread: 32,
+            shared_bytes_per_block: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_ne!(occ.limit, OccupancyLimit::SharedMem);
+    }
+}

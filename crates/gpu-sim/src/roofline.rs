@@ -1,0 +1,111 @@
+//! Roofline analysis (paper §6, "Remaining bottlenecks").
+//!
+//! Classifies a kernel as compute- or memory-bound from its measured
+//! operational intensity against the device's divergence-derated
+//! threshold, reproducing the paper's §6 numbers: inspector ≈24 ops/byte
+//! (slightly compute-bound), executor ≈6.5 ops/byte (slightly
+//! memory-bound) against the RTX 3080's derated threshold of ≈15.2.
+
+use crate::device::DeviceSpec;
+use crate::model::DIVERGENCE_DERATE;
+
+/// Which roof a kernel sits under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Limited by (derated) compute throughput.
+    Compute,
+    /// Limited by DRAM bandwidth.
+    Memory,
+}
+
+/// A §6-style roofline report for one phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflineReport {
+    /// Measured operational intensity in ops/byte.
+    pub intensity: f64,
+    /// Nominal threshold intensity (peak ops ÷ bandwidth), FMA-counted.
+    pub nominal_threshold: f64,
+    /// Divergence-derated threshold (the paper's 15.2 for the RTX 3080).
+    pub derated_threshold: f64,
+    /// The binding roof.
+    pub bound: Bound,
+}
+
+/// Builds the report for a phase with measured `ops` and `dram_bytes`.
+pub fn analyze(device: &DeviceSpec, ops: u64, dram_bytes: u64) -> RooflineReport {
+    // The paper quotes the RTX 3080's peak as 29.77 TFlop/s, an
+    // FMA-counted number (2 flops per lane-cycle).
+    let nominal = 2.0 * device.peak_ops_per_s() / (device.dram_bw_gbps * 1e9);
+    let derated = nominal / DIVERGENCE_DERATE;
+    let intensity = if dram_bytes == 0 {
+        f64::INFINITY
+    } else {
+        ops as f64 / dram_bytes as f64
+    };
+    RooflineReport {
+        intensity,
+        nominal_threshold: nominal,
+        derated_threshold: derated,
+        bound: if intensity >= derated {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ampere_thresholds_match_paper() {
+        let dev = DeviceSpec::rtx3080_ampere();
+        let r = analyze(&dev, 1, 1);
+        assert!(
+            (r.nominal_threshold - 39.0).abs() < 4.0,
+            "nominal {}",
+            r.nominal_threshold
+        );
+        assert!(
+            (r.derated_threshold - 15.2).abs() < 2.0,
+            "derated {}",
+            r.derated_threshold
+        );
+    }
+
+    #[test]
+    fn inspector_intensity_is_compute_bound() {
+        // §6: inspector = 32×9 ops per 12 bytes = 24 ops/byte.
+        let dev = DeviceSpec::rtx3080_ampere();
+        let r = analyze(&dev, 32 * 9, 12);
+        assert!((r.intensity - 24.0).abs() < 1e-9);
+        assert_eq!(r.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn executor_intensity_is_memory_bound() {
+        // §6: executor = 288 ops per 44 bytes ≈ 6.5 ops/byte.
+        let dev = DeviceSpec::rtx3080_ampere();
+        let r = analyze(&dev, 288, 44);
+        assert!((r.intensity - 6.545).abs() < 0.01);
+        assert_eq!(r.bound, Bound::Memory);
+    }
+
+    #[test]
+    fn unoptimized_intensity_is_deeply_memory_bound() {
+        // §6: without FastZ's optimizations, ≈0.75 ops/byte.
+        let dev = DeviceSpec::rtx3080_ampere();
+        let r = analyze(&dev, 9, 12);
+        assert_eq!(r.bound, Bound::Memory);
+        assert!(r.intensity < 1.0);
+    }
+
+    #[test]
+    fn zero_traffic_is_compute_bound() {
+        let dev = DeviceSpec::rtx3080_ampere();
+        let r = analyze(&dev, 100, 0);
+        assert_eq!(r.bound, Bound::Compute);
+        assert!(r.intensity.is_infinite());
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared-memory model: a capacity-checked per-block scratchpad.
+//!
+//! FastZ keeps two things in shared memory (paper §3.1.2-§3.1.3): the
+//! 16×16 eager-traceback window, and cache-block-sized tiles that
+//! aggregate executor traceback bytes before one coalesced global write.
+//! The model enforces the capacity a real SM would and tracks the
+//! high-water mark so occupancy can be computed from actual usage.
+
+/// A per-block shared-memory scratchpad.
+#[derive(Clone, Debug)]
+pub struct SharedMem {
+    data: Vec<u8>,
+    high_water: usize,
+    capacity: usize,
+}
+
+impl SharedMem {
+    /// Creates a scratchpad with `capacity` bytes.
+    pub fn new(capacity: usize) -> SharedMem {
+        SharedMem {
+            data: Vec::new(),
+            high_water: 0,
+            capacity,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest extent ever allocated.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Ensures at least `bytes` are addressable, zero-filling new space.
+    ///
+    /// # Panics
+    /// Panics if the request exceeds capacity — the same failure mode as
+    /// launching a CUDA kernel whose static shared allocation is too big.
+    pub fn reserve(&mut self, bytes: usize) {
+        assert!(
+            bytes <= self.capacity,
+            "shared memory request {bytes} B exceeds capacity {} B",
+            self.capacity
+        );
+        if bytes > self.data.len() {
+            self.data.resize(bytes, 0);
+        }
+        self.high_water = self.high_water.max(bytes);
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, offset: usize, value: u8) {
+        self.reserve(offset + 1);
+        self.data[offset] = value;
+    }
+
+    /// Reads one byte (0 if never written).
+    #[inline]
+    pub fn read_u8(&self, offset: usize) -> u8 {
+        self.data.get(offset).copied().unwrap_or(0)
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, offset: usize, value: u32) {
+        self.reserve(offset + 4);
+        self.data[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a little-endian u32.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        let mut b = [0u8; 4];
+        for (k, slot) in b.iter_mut().enumerate() {
+            *slot = self.read_u8(offset + k);
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Clears contents (keeps capacity and the high-water mark).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut sm = SharedMem::new(1024);
+        sm.write_u8(0, 0xAB);
+        sm.write_u8(100, 7);
+        assert_eq!(sm.read_u8(0), 0xAB);
+        assert_eq!(sm.read_u8(100), 7);
+        assert_eq!(sm.read_u8(500), 0);
+        sm.write_u32(200, 0xDEADBEEF);
+        assert_eq!(sm.read_u32(200), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn high_water_tracks_max_extent() {
+        let mut sm = SharedMem::new(1024);
+        sm.write_u8(511, 1);
+        sm.write_u8(3, 1);
+        assert_eq!(sm.high_water(), 512);
+        sm.clear();
+        assert_eq!(sm.high_water(), 512);
+        assert_eq!(sm.read_u8(511), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn over_capacity_panics() {
+        let mut sm = SharedMem::new(256);
+        sm.write_u8(256, 1);
+    }
+
+    #[test]
+    fn eager_traceback_window_fits() {
+        // The paper's 16×16 eager-traceback window: 256 bytes, far under
+        // any SM's shared capacity.
+        let mut sm = SharedMem::new(96 * 1024);
+        for i in 0..256 {
+            sm.write_u8(i, i as u8);
+        }
+        assert_eq!(sm.high_water(), 256);
+    }
+}

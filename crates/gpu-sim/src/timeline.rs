@@ -1,0 +1,125 @@
+//! Phase timeline: attribution of pipeline time to phases (Figure 8).
+
+use std::fmt;
+
+/// One named phase and its duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseEntry {
+    /// Phase name (e.g. `"inspector"`).
+    pub name: String,
+    /// Duration in seconds.
+    pub seconds: f64,
+}
+
+/// An ordered list of phases with durations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseTimeline {
+    entries: Vec<PhaseEntry>,
+}
+
+impl PhaseTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> PhaseTimeline {
+        PhaseTimeline::default()
+    }
+
+    /// Adds (or extends) a phase. Repeated names accumulate.
+    pub fn add(&mut self, name: &str, seconds: f64) {
+        assert!(seconds >= 0.0, "negative phase duration");
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.seconds += seconds;
+        } else {
+            self.entries.push(PhaseEntry {
+                name: name.to_string(),
+                seconds,
+            });
+        }
+    }
+
+    /// All phases in insertion order.
+    pub fn entries(&self) -> &[PhaseEntry] {
+        &self.entries
+    }
+
+    /// Total time across phases.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Fraction of total attributed to `name` (0.0 if absent or empty).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0.0, |e| e.seconds / total)
+    }
+
+    /// Duration of `name` (0.0 if absent).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0.0, |e| e.seconds)
+    }
+}
+
+impl fmt::Display for PhaseTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for e in &self.entries {
+            let pct = if total > 0.0 {
+                100.0 * e.seconds / total
+            } else {
+                0.0
+            };
+            writeln!(f, "{:<12} {:>12.6e} s  {:>5.1}%", e.name, e.seconds, pct)?;
+        }
+        writeln!(f, "{:<12} {:>12.6e} s", "total", total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let mut t = PhaseTimeline::new();
+        t.add("inspector", 1.0);
+        t.add("executor", 0.5);
+        t.add("inspector", 0.5);
+        assert_eq!(t.seconds("inspector"), 1.5);
+        assert_eq!(t.total(), 2.0);
+        assert_eq!(t.fraction("inspector"), 0.75);
+        assert_eq!(t.fraction("other"), 0.0);
+        assert_eq!(t.entries().len(), 2);
+    }
+
+    #[test]
+    fn empty_timeline_fractions_are_zero() {
+        let t = PhaseTimeline::new();
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.fraction("x"), 0.0);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let mut t = PhaseTimeline::new();
+        t.add("a", 3.0);
+        t.add("b", 1.0);
+        let s = format!("{t}");
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_rejected() {
+        PhaseTimeline::new().add("x", -1.0);
+    }
+}

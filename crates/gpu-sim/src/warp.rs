@@ -1,0 +1,195 @@
+//! Functional warp model: 32-lane lockstep values, shuffles, ballots.
+//!
+//! FastZ's kernels are written against these primitives exactly as the
+//! CUDA implementation uses `__shfl_up_sync` / `__ballot_sync`; executing
+//! them on the simulator produces bit-identical results to a lockstep
+//! SIMT machine while the accounting layer (see [`crate::counters`])
+//! records the work.
+
+/// Lanes per warp (fixed at 32 on every NVIDIA architecture).
+pub const WARP_SIZE: usize = 32;
+
+/// A per-lane value vector.
+pub type Lanes<T> = [T; WARP_SIZE];
+
+/// Broadcasts one value to all lanes.
+#[inline]
+pub fn splat<T: Copy>(v: T) -> Lanes<T> {
+    [v; WARP_SIZE]
+}
+
+/// `__shfl_up_sync`: lane `l` receives lane `l - delta`'s value; the low
+/// `delta` lanes receive `fill` (CUDA leaves them unchanged; FastZ always
+/// feeds a boundary value there, which `fill` models directly).
+#[inline]
+pub fn shfl_up<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
+    let mut out = splat(fill);
+    for l in delta..WARP_SIZE {
+        out[l] = v[l - delta];
+    }
+    out
+}
+
+/// `__shfl_down_sync`: lane `l` receives lane `l + delta`'s value; the
+/// high `delta` lanes receive `fill`.
+#[inline]
+pub fn shfl_down<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
+    let mut out = splat(fill);
+    for l in 0..WARP_SIZE - delta {
+        out[l] = v[l + delta];
+    }
+    out
+}
+
+/// `__ballot_sync`: bitmask of lanes whose predicate holds.
+#[inline]
+pub fn ballot(pred: &Lanes<bool>) -> u32 {
+    let mut mask = 0u32;
+    for (l, &p) in pred.iter().enumerate() {
+        if p {
+            mask |= 1 << l;
+        }
+    }
+    mask
+}
+
+/// `__all_sync`: true if every lane's predicate holds.
+#[inline]
+pub fn warp_all(pred: &Lanes<bool>) -> bool {
+    pred.iter().all(|&p| p)
+}
+
+/// `__any_sync`: true if any lane's predicate holds.
+#[inline]
+pub fn warp_any(pred: &Lanes<bool>) -> bool {
+    pred.iter().any(|&p| p)
+}
+
+/// Warp-wide maximum reduction with its lane index (first lane wins
+/// ties, matching a butterfly reduction with `>=` on the lower lane).
+#[inline]
+pub fn warp_max_with_lane(v: &Lanes<i32>) -> (i32, usize) {
+    let mut best = v[0];
+    let mut lane = 0usize;
+    for (l, &x) in v.iter().enumerate().skip(1) {
+        if x > best {
+            best = x;
+            lane = l;
+        }
+    }
+    (best, lane)
+}
+
+/// Per-lane binary max (what the SIMT `max` instruction does).
+#[inline]
+pub fn lane_max(a: &Lanes<i32>, b: &Lanes<i32>) -> Lanes<i32> {
+    let mut out = *a;
+    for l in 0..WARP_SIZE {
+        if b[l] > out[l] {
+            out[l] = b[l];
+        }
+    }
+    out
+}
+
+/// Number of distinct control paths a divergent branch forces the warp to
+/// execute: 1 if all lanes agree, 2 otherwise (used by the accounting
+/// layer to apply the paper's §6 derating empirically).
+#[inline]
+pub fn branch_paths(pred: &Lanes<bool>) -> u32 {
+    let mask = ballot(pred);
+    if mask == 0 || mask == u32::MAX {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota() -> Lanes<i32> {
+        let mut v = splat(0);
+        for (l, x) in v.iter_mut().enumerate() {
+            *x = l as i32;
+        }
+        v
+    }
+
+    #[test]
+    fn shfl_up_shifts_and_fills() {
+        let v = iota();
+        let s = shfl_up(&v, 1, -7);
+        assert_eq!(s[0], -7);
+        assert_eq!(s[1], 0);
+        assert_eq!(s[31], 30);
+        let s2 = shfl_up(&v, 2, 0);
+        assert_eq!(s2[1], 0);
+        assert_eq!(s2[2], 0);
+        assert_eq!(s2[31], 29);
+    }
+
+    #[test]
+    fn shfl_down_shifts_and_fills() {
+        let v = iota();
+        let s = shfl_down(&v, 3, 99);
+        assert_eq!(s[0], 3);
+        assert_eq!(s[28], 31);
+        assert_eq!(s[29], 99);
+        assert_eq!(s[31], 99);
+    }
+
+    #[test]
+    fn shfl_zero_delta_is_identity() {
+        let v = iota();
+        assert_eq!(shfl_up(&v, 0, 0), v);
+        assert_eq!(shfl_down(&v, 0, 0), v);
+    }
+
+    #[test]
+    fn ballot_and_votes() {
+        let mut p = splat(false);
+        assert_eq!(ballot(&p), 0);
+        assert!(!warp_any(&p));
+        p[0] = true;
+        p[31] = true;
+        assert_eq!(ballot(&p), 1 | (1 << 31));
+        assert!(warp_any(&p));
+        assert!(!warp_all(&p));
+        let t = splat(true);
+        assert_eq!(ballot(&t), u32::MAX);
+        assert!(warp_all(&t));
+    }
+
+    #[test]
+    fn warp_max_first_lane_wins_ties() {
+        let mut v = splat(5);
+        assert_eq!(warp_max_with_lane(&v), (5, 0));
+        v[7] = 9;
+        v[20] = 9;
+        assert_eq!(warp_max_with_lane(&v), (9, 7));
+    }
+
+    #[test]
+    fn lane_max_elementwise() {
+        let a = iota();
+        let mut b = splat(15);
+        b[31] = 100;
+        let m = lane_max(&a, &b);
+        assert_eq!(m[0], 15);
+        assert_eq!(m[20], 20);
+        assert_eq!(m[31], 100);
+    }
+
+    #[test]
+    fn branch_paths_counts_divergence() {
+        let t = splat(true);
+        let f = splat(false);
+        let mut mixed = splat(false);
+        mixed[3] = true;
+        assert_eq!(branch_paths(&t), 1);
+        assert_eq!(branch_paths(&f), 1);
+        assert_eq!(branch_paths(&mixed), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! The seed index: seed word → target positions.
+//!
+//! Stage 1 of the WGA pipeline (paper §2): a lightweight exact-match search
+//! over seed words. The index is a bucketed table keyed by the packed seed
+//! word, built with a two-pass counting layout into one flat position
+//! array (no per-bucket `Vec` allocations), hashed with a multiply-shift
+//! hash into a power-of-two bucket table.
+
+use crate::shape::SeedShape;
+use fastz_genome::Sequence;
+
+/// Fibonacci multiply-shift hash, adequate for packed seed words.
+#[inline(always)]
+fn hash_word(word: u64, shift: u32) -> usize {
+    (word.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+/// An index over one target sequence for one seed shape.
+pub struct SeedIndex {
+    shape: SeedShape,
+    shift: u32,
+    /// `bucket_starts[h] .. bucket_starts[h+1]` delimits bucket `h` within
+    /// `entries`.
+    bucket_starts: Vec<u32>,
+    /// Flat `(word, target_pos)` entries grouped by bucket.
+    entries: Vec<(u64, u32)>,
+    target_len: usize,
+}
+
+impl SeedIndex {
+    /// Builds an index for `target` with `shape`.
+    pub fn build(target: &Sequence, shape: SeedShape) -> SeedIndex {
+        let codes = target.codes();
+        let n_buckets = (codes.len().max(16))
+            .checked_next_power_of_two()
+            .expect("sequence too large");
+        let shift = 64 - n_buckets.trailing_zeros();
+
+        // Pass 1: count bucket sizes.
+        let mut counts = vec![0u32; n_buckets + 1];
+        let n_windows = codes.len().saturating_sub(shape.span().saturating_sub(1));
+        let mut words: Vec<(u64, u32)> = Vec::with_capacity(n_windows);
+        for pos in 0..n_windows {
+            if let Some(word) = shape.word_at(codes, pos) {
+                words.push((word, pos as u32));
+                counts[hash_word(word, shift) + 1] += 1;
+            }
+        }
+
+        // Prefix sums → bucket starts.
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let bucket_starts = counts.clone();
+
+        // Pass 2: scatter entries into their buckets.
+        let mut cursor = bucket_starts.clone();
+        let mut entries = vec![(0u64, 0u32); words.len()];
+        for &(word, pos) in &words {
+            let h = hash_word(word, shift);
+            entries[cursor[h] as usize] = (word, pos);
+            cursor[h] += 1;
+        }
+
+        SeedIndex {
+            shape,
+            shift,
+            bucket_starts,
+            entries,
+            target_len: target.len(),
+        }
+    }
+
+    /// The seed shape this index was built with.
+    pub fn shape(&self) -> &SeedShape {
+        &self.shape
+    }
+
+    /// Length of the indexed target.
+    pub fn target_len(&self) -> usize {
+        self.target_len
+    }
+
+    /// Number of indexed windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no windows were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All target positions whose seed word equals `word`.
+    #[inline]
+    pub fn lookup(&self, word: u64) -> impl Iterator<Item = u32> + '_ {
+        let h = hash_word(word, self.shift);
+        let lo = self.bucket_starts[h] as usize;
+        let hi = self.bucket_starts[h + 1] as usize;
+        self.entries[lo..hi]
+            .iter()
+            .filter(move |&&(w, _)| w == word)
+            .map(|&(_, pos)| pos)
+    }
+
+    /// Mean bucket occupancy among non-empty buckets (diagnostic).
+    pub fn mean_bucket_occupancy(&self) -> f64 {
+        let mut nonempty = 0usize;
+        for h in 0..self.bucket_starts.len() - 1 {
+            if self.bucket_starts[h + 1] > self.bucket_starts[h] {
+                nonempty += 1;
+            }
+        }
+        if nonempty == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / nonempty as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::evolve::random_sequence;
+
+    fn seq(ascii: &[u8]) -> Sequence {
+        Sequence::from_ascii("t", ascii).unwrap()
+    }
+
+    #[test]
+    fn index_finds_all_occurrences() {
+        let s = seq(b"ACGTACGTACGT");
+        let idx = SeedIndex::build(&s, SeedShape::exact(4));
+        let word = idx.shape().word_at(s.codes(), 0).unwrap();
+        let mut hits: Vec<u32> = idx.lookup(word).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn index_lookup_misses() {
+        let s = seq(b"AAAAAAAA");
+        let idx = SeedIndex::build(&s, SeedShape::exact(4));
+        // Word for "TTTT" does not occur.
+        let probe = seq(b"TTTT");
+        let word = idx.shape().word_at(probe.codes(), 0).unwrap();
+        assert_eq!(idx.lookup(word).count(), 0);
+    }
+
+    #[test]
+    fn n_windows_are_excluded() {
+        let s = seq(b"ACGTNACGT");
+        let idx = SeedIndex::build(&s, SeedShape::exact(4));
+        // Windows at 1..=4 all cover the N; only 0 and 5 index.
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_short_sequences() {
+        let s = seq(b"AC");
+        let idx = SeedIndex::build(&s, SeedShape::exact(4));
+        assert!(idx.is_empty());
+        let e = Sequence::from_codes("e", vec![]);
+        assert!(SeedIndex::build(&e, SeedShape::exact(4)).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_naive_scan() {
+        let t = random_sequence("t", 4_000, 0.5, 99);
+        let shape = SeedShape::lastz_12of19();
+        let idx = SeedIndex::build(&t, shape.clone());
+        // Probe 200 windows of the same sequence: index hits must equal a
+        // naive all-positions scan.
+        for probe in (0..2_000).step_by(10) {
+            let Some(word) = shape.word_at(t.codes(), probe) else {
+                continue;
+            };
+            let mut from_index: Vec<u32> = idx.lookup(word).collect();
+            from_index.sort_unstable();
+            let naive: Vec<u32> = (0..t.len() - shape.span() + 1)
+                .filter(|&p| shape.word_at(t.codes(), p) == Some(word))
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(from_index, naive, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn occupancy_is_reported() {
+        let t = random_sequence("t", 10_000, 0.5, 3);
+        let idx = SeedIndex::build(&t, SeedShape::exact(12));
+        let occ = idx.mean_bucket_occupancy();
+        assert!(occ >= 1.0 && occ < 4.0, "occupancy {occ}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # fastz-seed
+//!
+//! Stages 1-2 of the whole-genome-alignment pipeline: exact-match seeding
+//! with contiguous or spaced seed shapes (LASTZ's 12-of-19 by default), a
+//! bucketed seed index, anchor enumeration, and LASTZ-style diagonal
+//! filtering plus deterministic subsampling to a seed budget.
+
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod index;
+pub mod mask;
+pub mod shape;
+pub mod workload;
+
+pub use anchor::{band_filter, filter_anchors, find_anchors, sample_anchors, Anchor};
+pub use index::SeedIndex;
+pub use mask::{find_anchors_masked, WordMask};
+pub use shape::SeedShape;
+pub use workload::{Workload, WorkloadParams};

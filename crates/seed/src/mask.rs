@@ -1,0 +1,166 @@
+//! Dynamic seed-word masking (LASTZ's `--maxwordcount` / dynamic
+//! masking).
+//!
+//! Repetitive DNA makes some seed words wildly over-represented; every
+//! occurrence pairs with every other, so a word appearing `k` times in
+//! the target and `m` times in the query contributes `k·m` anchors —
+//! repeats alone can dominate the workload. LASTZ suppresses seed words
+//! whose target count exceeds a ceiling; we implement the same rule over
+//! the seed index.
+
+use crate::index::SeedIndex;
+use crate::shape::SeedShape;
+use fastz_genome::Sequence;
+use std::collections::HashMap;
+
+/// Words occurring more than this many times in the target are masked by
+/// default (LASTZ's dynamic masking kicks in around this order of
+/// magnitude for chromosome-scale inputs; scale-aware callers should set
+/// their own ceiling).
+pub const DEFAULT_MAX_WORD_COUNT: usize = 64;
+
+/// A set of masked (suppressed) seed words.
+#[derive(Clone, Debug, Default)]
+pub struct WordMask {
+    masked: HashMap<u64, usize>,
+    ceiling: usize,
+}
+
+impl WordMask {
+    /// Builds the mask for `target` under `shape`: every word with more
+    /// than `ceiling` occurrences is masked.
+    pub fn build(target: &Sequence, shape: &SeedShape, ceiling: usize) -> WordMask {
+        assert!(ceiling > 0, "ceiling must be positive");
+        let codes = target.codes();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let n_windows = codes.len().saturating_sub(shape.span().saturating_sub(1));
+        for pos in 0..n_windows {
+            if let Some(word) = shape.word_at(codes, pos) {
+                *counts.entry(word).or_insert(0) += 1;
+            }
+        }
+        WordMask {
+            masked: counts.into_iter().filter(|&(_, c)| c > ceiling).collect(),
+            ceiling,
+        }
+    }
+
+    /// The ceiling this mask was built with.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// Number of distinct masked words.
+    pub fn masked_words(&self) -> usize {
+        self.masked.len()
+    }
+
+    /// Total target occurrences the mask suppresses.
+    pub fn suppressed_occurrences(&self) -> usize {
+        self.masked.values().sum()
+    }
+
+    /// True if `word` is suppressed.
+    #[inline]
+    pub fn is_masked(&self, word: u64) -> bool {
+        self.masked.contains_key(&word)
+    }
+}
+
+/// Enumerates anchors like [`crate::anchor::find_anchors`] but skips
+/// masked words.
+pub fn find_anchors_masked(
+    index: &SeedIndex,
+    query: &Sequence,
+    mask: &WordMask,
+) -> Vec<crate::anchor::Anchor> {
+    let shape = index.shape();
+    let codes = query.codes();
+    let mut anchors = Vec::new();
+    let n_windows = codes.len().saturating_sub(shape.span().saturating_sub(1));
+    for q in 0..n_windows {
+        if let Some(word) = shape.word_at(codes, q) {
+            if mask.is_masked(word) {
+                continue;
+            }
+            let mut hits: Vec<u32> = index.lookup(word).collect();
+            hits.sort_unstable();
+            for t in hits {
+                anchors.push(crate::anchor::Anchor {
+                    target_pos: t,
+                    query_pos: q as u32,
+                });
+            }
+        }
+    }
+    anchors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::find_anchors;
+    use fastz_genome::evolve::random_sequence;
+
+    fn repeat_laden() -> Sequence {
+        // Random background with an exact 8-mer repeated 40 times.
+        let bg = random_sequence("bg", 4_000, 0.5, 71);
+        let mut codes = bg.codes().to_vec();
+        let unit = [0u8, 1, 2, 3, 0, 0, 1, 1]; // ACGTAACC
+        for k in 0..40 {
+            let at = 50 + k * 90;
+            codes[at..at + 8].copy_from_slice(&unit);
+        }
+        Sequence::from_codes("rep", codes)
+    }
+
+    #[test]
+    fn mask_catches_the_planted_repeat() {
+        let t = repeat_laden();
+        let shape = SeedShape::exact(8);
+        let mask = WordMask::build(&t, &shape, 16);
+        assert!(mask.masked_words() >= 1);
+        let unit_word = shape
+            .word_at(&[0u8, 1, 2, 3, 0, 0, 1, 1], 0)
+            .unwrap();
+        assert!(mask.is_masked(unit_word));
+        assert!(mask.suppressed_occurrences() >= 40);
+        assert_eq!(mask.ceiling(), 16);
+    }
+
+    #[test]
+    fn high_ceiling_masks_nothing_in_random_sequence() {
+        let t = random_sequence("r", 5_000, 0.5, 72);
+        let mask = WordMask::build(&t, &SeedShape::lastz_12of19(), DEFAULT_MAX_WORD_COUNT);
+        assert_eq!(mask.masked_words(), 0);
+    }
+
+    #[test]
+    fn masked_enumeration_removes_repeat_anchors_only() {
+        let t = repeat_laden();
+        let q = repeat_laden(); // same repeat in the query
+        let shape = SeedShape::exact(8);
+        let idx = SeedIndex::build(&t, shape.clone());
+        let mask = WordMask::build(&t, &shape, 16);
+
+        let all = find_anchors(&idx, &q);
+        let masked = find_anchors_masked(&idx, &q, &mask);
+        // The repeat unit alone contributes ≥ 40×40 anchors.
+        assert!(all.len() >= masked.len() + 1_600);
+        // Every surviving anchor's word is unmasked.
+        for a in &masked {
+            let w = shape.word_at(q.codes(), a.query_pos as usize).unwrap();
+            assert!(!mask.is_masked(w));
+        }
+        // And surviving anchors are a subset of the full set.
+        for a in &masked {
+            assert!(all.contains(a));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ceiling_rejected() {
+        WordMask::build(&repeat_laden(), &SeedShape::exact(8), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Seed shapes: contiguous k-mers and spaced seeds.
+//!
+//! A *seed shape* is a binary pattern over a window ("span") of positions;
+//! positions marked `1` ("care" positions) must match exactly, positions
+//! marked `0` are wildcards. LASTZ's default shape is the 12-of-19 spaced
+//! seed `1110100110010101111`; FastZ inherits it.
+
+use fastz_genome::N_CODE;
+
+/// A seed shape (pattern of care positions over a span).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedShape {
+    /// Offsets within the span that must match (sorted, distinct).
+    care: Vec<usize>,
+    /// Total window length.
+    span: usize,
+}
+
+impl SeedShape {
+    /// A contiguous exact-match seed of length `k` (2 ≤ k ≤ 31).
+    pub fn exact(k: usize) -> SeedShape {
+        assert!((2..=31).contains(&k), "k must be in 2..=31");
+        SeedShape {
+            care: (0..k).collect(),
+            span: k,
+        }
+    }
+
+    /// LASTZ's default 12-of-19 spaced seed (`1110100110010101111`).
+    pub fn lastz_12of19() -> SeedShape {
+        SeedShape::from_pattern("1110100110010101111")
+    }
+
+    /// Parses a pattern string of `1` (care) and `0` (wildcard) characters.
+    ///
+    /// # Panics
+    /// Panics on any other character, an empty pattern, a pattern with more
+    /// than 31 care positions, or a pattern that does not start and end
+    /// with `1` (leading/trailing wildcards would just shift the seed).
+    pub fn from_pattern(pattern: &str) -> SeedShape {
+        assert!(!pattern.is_empty(), "empty seed pattern");
+        let bits: Vec<bool> = pattern
+            .chars()
+            .map(|c| match c {
+                '1' => true,
+                '0' => false,
+                other => panic!("invalid seed pattern character {other:?}"),
+            })
+            .collect();
+        assert!(
+            bits[0] && bits[bits.len() - 1],
+            "seed pattern must start and end with 1"
+        );
+        let care: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        assert!(care.len() <= 31, "more than 31 care positions");
+        SeedShape {
+            span: bits.len(),
+            care,
+        }
+    }
+
+    /// Window length of the shape.
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Number of care positions (the seed weight).
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.care.len()
+    }
+
+    /// The care-position offsets.
+    pub fn care_positions(&self) -> &[usize] {
+        &self.care
+    }
+
+    /// Renders the pattern string (e.g. `"1101"`).
+    pub fn pattern_string(&self) -> String {
+        let mut s = vec!['0'; self.span];
+        for &p in &self.care {
+            s[p] = '1';
+        }
+        s.into_iter().collect()
+    }
+
+    /// Extracts the packed seed word at `pos` in `codes`, or `None` if the
+    /// window extends past the end or covers an `N` at a care position.
+    ///
+    /// The word packs the care-position base codes 2 bits each, first care
+    /// position in the lowest bits.
+    #[inline]
+    pub fn word_at(&self, codes: &[u8], pos: usize) -> Option<u64> {
+        if pos + self.span > codes.len() {
+            return None;
+        }
+        let mut word = 0u64;
+        for (k, &off) in self.care.iter().enumerate() {
+            let c = codes[pos + off];
+            if c >= N_CODE {
+                return None;
+            }
+            word |= (c as u64) << (2 * k);
+        }
+        Some(word)
+    }
+
+    /// True if the windows at `a_pos` in `a` and `b_pos` in `b` match at
+    /// every care position (the definition `word_at` equality implements).
+    pub fn matches(&self, a: &[u8], a_pos: usize, b: &[u8], b_pos: usize) -> bool {
+        match (self.word_at(a, a_pos), self.word_at(b, b_pos)) {
+            (Some(wa), Some(wb)) => wa == wb,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct seed words (`4^weight`).
+    pub fn word_space(&self) -> u64 {
+        1u64 << (2 * self.weight())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::Sequence;
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        Sequence::from_ascii("t", s).unwrap().codes().to_vec()
+    }
+
+    #[test]
+    fn exact_shape_basics() {
+        let s = SeedShape::exact(19);
+        assert_eq!(s.span(), 19);
+        assert_eq!(s.weight(), 19);
+        assert_eq!(s.care_positions()[0], 0);
+        assert_eq!(s.care_positions()[18], 18);
+    }
+
+    #[test]
+    fn lastz_shape_is_12_of_19() {
+        let s = SeedShape::lastz_12of19();
+        assert_eq!(s.span(), 19);
+        assert_eq!(s.weight(), 12);
+        assert_eq!(s.pattern_string(), "1110100110010101111");
+    }
+
+    #[test]
+    fn pattern_round_trip() {
+        for p in ["1", "11", "101", "1110100110010101111"] {
+            assert_eq!(SeedShape::from_pattern(p).pattern_string(), p);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pattern_with_leading_wildcard_rejected() {
+        SeedShape::from_pattern("0101");
+    }
+
+    #[test]
+    #[should_panic]
+    fn pattern_with_bad_char_rejected() {
+        SeedShape::from_pattern("1012");
+    }
+
+    #[test]
+    fn word_at_exact() {
+        let s = SeedShape::exact(4);
+        let c = codes(b"ACGTA");
+        // A=0,C=1,G=2,T=3 → word = 0 | 1<<2 | 2<<4 | 3<<6
+        assert_eq!(s.word_at(&c, 0), Some(0b11_10_01_00));
+        assert_eq!(s.word_at(&c, 1), Some(0b00_11_10_01));
+        assert_eq!(s.word_at(&c, 2), None); // window overruns
+    }
+
+    #[test]
+    fn word_at_skips_n() {
+        let s = SeedShape::exact(4);
+        let c = codes(b"ACNTA");
+        assert_eq!(s.word_at(&c, 0), None);
+        // Spaced shape with a wildcard over the N is fine.
+        let sp = SeedShape::from_pattern("1101");
+        assert!(sp.word_at(&c, 0).is_some());
+    }
+
+    #[test]
+    fn spaced_word_ignores_wildcards() {
+        let sp = SeedShape::from_pattern("101");
+        let a = codes(b"ACG");
+        let b = codes(b"ATG");
+        assert_eq!(sp.word_at(&a, 0), sp.word_at(&b, 0));
+        assert!(sp.matches(&a, 0, &b, 0));
+        let c = codes(b"TCG");
+        assert!(!sp.matches(&a, 0, &c, 0));
+    }
+
+    #[test]
+    fn word_space_counts() {
+        assert_eq!(SeedShape::exact(2).word_space(), 16);
+        assert_eq!(SeedShape::lastz_12of19().word_space(), 1 << 24);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for seeding: index exactness, anchor enumeration, and
+//! filter invariants.
+
+use fastz_genome::Sequence;
+use fastz_seed::{band_filter, filter_anchors, find_anchors, Anchor, SeedIndex, SeedShape};
+use proptest::prelude::*;
+
+fn seq_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 20..max)
+}
+
+fn anchors_strategy() -> impl Strategy<Value = Vec<Anchor>> {
+    proptest::collection::vec((0u32..5_000, 0u32..5_000), 0..200).prop_map(|mut v| {
+        // find_anchors order: by query_pos, then target_pos.
+        v.sort_by_key(|&(t, q)| (q, t));
+        v.into_iter()
+            .map(|(target_pos, query_pos)| Anchor {
+                target_pos,
+                query_pos,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every anchor the index reports is a true seed match, and no true
+    /// match is missed (spot-checked against a brute-force scan).
+    #[test]
+    fn index_is_exact(t in seq_strategy(400), q in seq_strategy(200), k in 4usize..9) {
+        let target = Sequence::from_codes("t", t);
+        let query = Sequence::from_codes("q", q);
+        let shape = SeedShape::exact(k);
+        let idx = SeedIndex::build(&target, shape.clone());
+        let mut found = find_anchors(&idx, &query);
+        found.sort_by_key(|a| (a.query_pos, a.target_pos));
+        let mut naive = Vec::new();
+        if target.len() >= shape.span() && query.len() >= shape.span() {
+            for qpos in 0..=query.len() - shape.span() {
+                for tpos in 0..=target.len() - shape.span() {
+                    if shape.matches(target.codes(), tpos, query.codes(), qpos) {
+                        naive.push(Anchor { target_pos: tpos as u32, query_pos: qpos as u32 });
+                    }
+                }
+            }
+        }
+        naive.sort_by_key(|a| (a.query_pos, a.target_pos));
+        prop_assert_eq!(found, naive);
+    }
+
+    /// Filters only ever remove anchors, keep order, and are idempotent.
+    #[test]
+    fn filters_shrink_preserve_order_and_are_idempotent(
+        anchors in anchors_strategy(),
+        window in 1u32..200,
+        band in 1u32..128,
+    ) {
+        for filtered in [
+            filter_anchors(&anchors, window),
+            band_filter(&anchors, band, window),
+        ] {
+            prop_assert!(filtered.len() <= anchors.len());
+            // Subsequence check.
+            let mut it = anchors.iter();
+            for f in &filtered {
+                prop_assert!(it.any(|a| a == f), "filter output not a subsequence");
+            }
+        }
+        let once = filter_anchors(&anchors, window);
+        let twice = filter_anchors(&once, window);
+        prop_assert_eq!(once, twice);
+        let bonce = band_filter(&anchors, band, window);
+        let btwice = band_filter(&bonce, band, window);
+        prop_assert_eq!(bonce, btwice);
+    }
+
+    /// After the fine diagonal filter, no two kept anchors on the same
+    /// diagonal start within the window.
+    #[test]
+    fn diagonal_filter_spacing_invariant(anchors in anchors_strategy(), window in 1u32..100) {
+        let kept = filter_anchors(&anchors, window);
+        for (i, a) in kept.iter().enumerate() {
+            for b in &kept[i + 1..] {
+                if a.diagonal() == b.diagonal() {
+                    let gap = b.anti_diagonal().abs_diff(a.anti_diagonal());
+                    prop_assert!(
+                        gap >= 2 * window as u64,
+                        "anchors {a:?} and {b:?} too close on one diagonal"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Band filter with zero parameters is the identity.
+    #[test]
+    fn zero_parameters_disable_filters(anchors in anchors_strategy()) {
+        prop_assert_eq!(filter_anchors(&anchors, 0), anchors.clone());
+        prop_assert_eq!(band_filter(&anchors, 0, 100), anchors.clone());
+        prop_assert_eq!(band_filter(&anchors, 64, 0), anchors.clone());
+    }
+
+    /// Seed words are position-independent: equal windows yield equal
+    /// words, differing care positions yield differing words.
+    #[test]
+    fn word_equality_iff_care_positions_match(t in seq_strategy(100)) {
+        let shape = SeedShape::lastz_12of19();
+        if t.len() < 2 * shape.span() {
+            return Ok(());
+        }
+        let w0 = shape.word_at(&t, 0);
+        for pos in 0..t.len() - shape.span() {
+            let w = shape.word_at(&t, pos);
+            let care_equal = shape
+                .care_positions()
+                .iter()
+                .all(|&c| t[c] == t[pos + c]);
+            prop_assert_eq!(w == w0, care_equal, "pos {}", pos);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Whole-chromosome-pair alignment: run a catalog benchmark (default
+//! `C1_1,1`, C. elegans chr1 vs C. briggsae chr1 at 1/500 scale) through
+//! the full FastZ pipeline and report the paper's per-pair statistics:
+//! the Table 2 length-bin distribution, the Figure 8 phase breakdown,
+//! and the modeled speedup on all three paper GPUs.
+//!
+//! ```sh
+//! cargo run --release --example genome_pair [-- PAIR_LABEL]
+//! ```
+
+use fastz::align::{sequential_gapped, DriverConfig};
+use fastz::core::{run_fastz, FastZConfig};
+use fastz::genome::{evolve::generate_pair, find_pair, Scale, Scoring};
+use fastz::gpu_sim::{CpuModel, DeviceSpec};
+use fastz::seed::{Workload, WorkloadParams};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "C1_1,1".into());
+    let entry = find_pair(&label).unwrap_or_else(|| {
+        eprintln!("unknown catalog pair {label}; try C1_1,1 or A1_X,X");
+        std::process::exit(2);
+    });
+    println!(
+        "benchmark {}: {} vs {} (real {} / {} bp, synthetic at 1/{} scale)",
+        entry.label,
+        entry.target_desc,
+        entry.query_desc,
+        entry.target_bp,
+        entry.query_bp,
+        Scale::TEST.divisor
+    );
+
+    let pair = generate_pair(&entry.pair_params(Scale::TEST));
+    let workload = Workload::build(&pair.target, &pair.query, &WorkloadParams::default());
+    println!("{} seeds after filtering", workload.len());
+
+    let scoring = Scoring::bench_scaled();
+    let seq = sequential_gapped(
+        &pair.target,
+        &pair.query,
+        &workload.anchors,
+        workload.shape.span(),
+        &DriverConfig::gapped(scoring.clone()),
+    );
+    let seq_model = CpuModel::ryzen_3950x().sequential_time(seq.stats.total_cells);
+    println!(
+        "sequential LASTZ: {} alignments, modeled {:.3} s on a Ryzen 3950X core",
+        seq.alignments.len(),
+        seq_model
+    );
+
+    let cfg = FastZConfig::new(scoring, DeviceSpec::rtx3080_ampere());
+    let report = run_fastz(
+        &pair.target,
+        &pair.query,
+        &workload.anchors,
+        workload.shape.span(),
+        &cfg,
+    );
+
+    println!("\nTable 2 row (alignment-length distribution per seed):");
+    let b = &report.bin_counts;
+    println!(
+        "  eager(≤16): {}  bin1(≤512): {}  bin2(≤2k): {}  bin3(≤8k): {}  bin4(≤32k): {}",
+        b.eager, b.bins[0], b.bins[1], b.bins[2], b.bins[3]
+    );
+    println!("  eager fraction {:.1}% (paper: 75-80%)", 100.0 * b.eager_fraction());
+
+    println!("\nFigure 8 phase breakdown (Ampere):");
+    print!("{}", report.timeline);
+
+    println!("\nFigure 7 speedups over sequential LASTZ:");
+    for dev in [
+        DeviceSpec::titan_x_pascal(),
+        DeviceSpec::qv100_volta(),
+        DeviceSpec::rtx3080_ampere(),
+    ] {
+        let t = report.retime(&dev, cfg.flags.streams).total();
+        println!("  {:<8} {:>8.2}x", dev.arch, seq_model / t);
+    }
+
+    println!(
+        "\nFastZ found {} alignments ({} sequential alignments reproduced)",
+        report.alignments.len(),
+        seq.alignments
+            .iter()
+            .filter(|a| report.alignments.contains(a))
+            .count()
+    );
+}

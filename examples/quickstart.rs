@@ -1,0 +1,95 @@
+//! Quickstart: align two small synthetic sequences end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic genome pair, finds seeds, runs both the sequential
+//! LASTZ reference and the FastZ GPU pipeline, and prints the alignments
+//! both engines agree on.
+
+use fastz::align::{sequential_gapped, DriverConfig};
+use fastz::core::{run_fastz, FastZConfig};
+use fastz::genome::{evolve::generate_pair, PairParams, Scoring};
+use fastz::gpu_sim::DeviceSpec;
+use fastz::seed::{Workload, WorkloadParams};
+
+fn main() {
+    // 1. A synthetic pair: two ~40 kbp "chromosomes" sharing planted
+    //    homologous segments (see fastz_genome::evolve for the model).
+    let pair = generate_pair(&PairParams {
+        target_len: 40_000,
+        query_len: 40_000,
+        segments: 80,
+        ..PairParams::small_demo("quickstart", 2024)
+    });
+    println!(
+        "generated {} ({} bp) vs {} ({} bp), {} planted homologies",
+        pair.target.name(),
+        pair.target.len(),
+        pair.query.name(),
+        pair.query.len(),
+        pair.truth.len()
+    );
+
+    // 2. Seeds: LASTZ's 12-of-19 spaced seed, filtered.
+    let workload = Workload::build(&pair.target, &pair.query, &WorkloadParams::default());
+    println!(
+        "seeding: {} raw anchors -> {} after filtering",
+        workload.raw_anchors,
+        workload.len()
+    );
+
+    // 3. Sequential gapped LASTZ (the paper's baseline).
+    let scoring = Scoring::bench_scaled();
+    let lastz = sequential_gapped(
+        &pair.target,
+        &pair.query,
+        &workload.anchors,
+        workload.shape.span(),
+        &DriverConfig::gapped(scoring.clone()),
+    );
+    println!(
+        "sequential LASTZ: {} alignments, {} DP cells, {:?}",
+        lastz.alignments.len(),
+        lastz.stats.total_cells,
+        lastz.stats.wall_time
+    );
+
+    // 4. FastZ on the simulated RTX 3080.
+    let cfg = FastZConfig::new(scoring, DeviceSpec::rtx3080_ampere());
+    let fastz = run_fastz(
+        &pair.target,
+        &pair.query,
+        &workload.anchors,
+        workload.shape.span(),
+        &cfg,
+    );
+    println!(
+        "FastZ: {} alignments, modeled {:.3} ms on {}, {} of {} extensions eager-resolved",
+        fastz.alignments.len(),
+        fastz.modeled_time_s * 1e3,
+        cfg.device.name,
+        fastz.stats.eager_resolved,
+        fastz.stats.problems
+    );
+
+    // 5. Agreement check (the paper's drop-in-replacement claim).
+    let agreed = lastz
+        .alignments
+        .iter()
+        .filter(|a| fastz.alignments.contains(a))
+        .count();
+    println!(
+        "agreement: {agreed}/{} sequential alignments reproduced exactly by FastZ",
+        lastz.alignments.len()
+    );
+
+    // 6. Show the top alignments.
+    let mut top: Vec<_> = fastz.alignments.iter().collect();
+    top.sort_by_key(|a| -a.score);
+    println!("\ntop alignments:");
+    for a in top.iter().take(5) {
+        println!("  {a}");
+    }
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper at bench scale.
+# Results land in results_*.txt at the repository root.
+set -x
+cd "$(dirname "$0")"
+cargo run -q --release -p fastz-bench --bin table1 > results_table1.txt 2>&1
+cargo run -q --release -p fastz-bench --bin evalall > results_evalall.txt 2> results_evalall.log
+cargo run -q --release -p fastz-bench --bin fig11 -- --verbose > results_fig11.txt 2>&1
+cargo run -q --release -p fastz-bench --bin fig2 > results_fig2.txt 2>&1
+cargo run -q --release -p fastz-bench --bin roofline > results_roofline.txt 2>&1
+cargo run -q --release -p fastz-bench --bin sensitivity -- --max-anchors 3000 > results_sensitivity.txt 2>&1
+cargo run -q --release -p fastz-bench --bin fig9 -- --max-anchors 3000 --pairs "C1_1,1+D1_2R,2+A2_X,X" > results_fig9.txt 2> results_fig9.log
+echo ALL_DONE

@@ -1,0 +1,51 @@
+//! # FastZ — gapped whole-genome alignment on (simulated) GPUs
+//!
+//! Umbrella crate for the FastZ reproduction (SC '21): re-exports the
+//! five workspace crates and hosts the cross-crate examples and
+//! integration tests.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use fastz::align::{sequential_gapped, DriverConfig};
+//! use fastz::core::{run_fastz, FastZConfig};
+//! use fastz::genome::{evolve::generate_pair, PairParams, Scoring};
+//! use fastz::gpu_sim::DeviceSpec;
+//! use fastz::seed::{Workload, WorkloadParams};
+//!
+//! // 1. A small synthetic genome pair with planted homologies.
+//! let pair = generate_pair(&PairParams {
+//!     target_len: 6_000,
+//!     query_len: 6_000,
+//!     segments: 12,
+//!     ..PairParams::small_demo("doc", 7)
+//! });
+//!
+//! // 2. Seed it (LASTZ's 12-of-19 spaced seed) and filter.
+//! let wl = Workload::build(&pair.target, &pair.query, &WorkloadParams::default());
+//! assert!(!wl.is_empty());
+//!
+//! // 3. Sequential gapped LASTZ (the reference) ...
+//! let scoring = Scoring::bench_scaled();
+//! let lastz = sequential_gapped(
+//!     &pair.target, &pair.query, &wl.anchors, wl.shape.span(),
+//!     &DriverConfig::gapped(scoring.clone()),
+//! );
+//!
+//! // 4. ... and FastZ on the simulated RTX 3080.
+//! let cfg = FastZConfig::new(scoring, DeviceSpec::rtx3080_ampere());
+//! let fz = run_fastz(&pair.target, &pair.query, &wl.anchors, wl.shape.span(), &cfg);
+//!
+//! // FastZ reproduces the reference alignments (§3.4's guarantee) and
+//! // reports its modeled GPU time.
+//! for a in &lastz.alignments {
+//!     assert!(fz.alignments.contains(a));
+//! }
+//! assert!(fz.modeled_time_s > 0.0);
+//! ```
+
+pub use fastz_align as align;
+pub use fastz_core as core;
+pub use fastz_genome as genome;
+pub use fastz_gpu_sim as gpu_sim;
+pub use fastz_seed as seed;

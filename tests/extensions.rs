@@ -1,0 +1,196 @@
+//! Integration tests for the extension features built on top of the
+//! paper's core: chaining, both-strand alignment, seed masking, and
+//! output formats, exercised together on synthetic workloads.
+
+use fastz::align::{
+    all_chains, best_chain, sequential_gapped, sequential_gapped_both_strands, summarize,
+    write_general, write_maf, ChainPenalties, DriverConfig, Strand,
+};
+use fastz::genome::evolve::{generate_pair, random_sequence, PairParams};
+use fastz::genome::{Scoring, Sequence};
+use fastz::seed::{
+    find_anchors, find_anchors_masked, SeedIndex, SeedShape, WordMask, Workload, WorkloadParams,
+};
+
+fn demo_pair() -> fastz::genome::GenomePair {
+    generate_pair(&PairParams {
+        target_len: 20_000,
+        query_len: 20_000,
+        segments: 40,
+        ..PairParams::small_demo("ext", 909)
+    })
+}
+
+#[test]
+fn chaining_links_colinear_segment_alignments() {
+    let pair = demo_pair();
+    let wl = Workload::build(&pair.target, &pair.query, &WorkloadParams::default());
+    let report = sequential_gapped(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &DriverConfig::gapped(Scoring::bench_scaled()),
+    );
+    assert!(report.alignments.len() >= 3);
+
+    let chain = best_chain(&report.alignments, &ChainPenalties::default()).unwrap();
+    // The mosaic is collinear by construction: the best chain should link
+    // several planted segments.
+    assert!(
+        chain.members.len() >= 2,
+        "chain linked only {} members",
+        chain.members.len()
+    );
+    // Members are strictly colinear.
+    for w in chain.members.windows(2) {
+        let a = &report.alignments[w[0]];
+        let b = &report.alignments[w[1]];
+        assert!(a.target_end <= b.target_start);
+        assert!(a.query_end <= b.query_start);
+    }
+    // Greedy multi-chain extraction partitions without duplicates.
+    let chains = all_chains(&report.alignments, &ChainPenalties::default());
+    let mut seen = std::collections::HashSet::new();
+    for c in &chains {
+        for &m in &c.members {
+            assert!(seen.insert(m), "alignment {m} in two chains");
+        }
+    }
+    assert!(chains[0].score >= chains.last().unwrap().score);
+}
+
+#[test]
+fn both_strands_and_formats_work_together() {
+    // Forward homology from the mosaic pair...
+    let pair = demo_pair();
+    let report = sequential_gapped_both_strands(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams::default(),
+        &DriverConfig::gapped(Scoring::bench_scaled()),
+    );
+    assert!(!report.forward.alignments.is_empty());
+    let plus = report
+        .alignments
+        .iter()
+        .filter(|a| a.strand == Strand::Forward)
+        .count();
+    assert_eq!(plus, report.forward.alignments.len());
+
+    // ... render both formats and sanity-check the output.
+    let mut maf = Vec::new();
+    write_maf(
+        &mut maf,
+        &report.forward.alignments,
+        &pair.target,
+        &pair.query,
+    )
+    .unwrap();
+    let maf = String::from_utf8(maf).unwrap();
+    assert!(maf.starts_with("##maf"));
+    assert_eq!(
+        maf.matches("a score=").count(),
+        report.forward.alignments.len()
+    );
+
+    let mut gen = Vec::new();
+    write_general(
+        &mut gen,
+        &report.forward.alignments,
+        &pair.target,
+        &pair.query,
+    )
+    .unwrap();
+    let gen = String::from_utf8(gen).unwrap();
+    assert_eq!(gen.lines().count(), report.forward.alignments.len() + 1);
+
+    // Summary statistics agree with the alignment set.
+    let s = summarize(&report.forward.alignments);
+    assert_eq!(s.count, report.forward.alignments.len());
+    assert!(s.max_score >= Scoring::bench_scaled().gapped_threshold);
+}
+
+#[test]
+fn masking_suppresses_a_planted_repeat_family() {
+    // Target and query share a high-copy repeat plus one genuine homology.
+    let mut t_codes = random_sequence("t", 8_000, 0.5, 31).codes().to_vec();
+    let mut q_codes = random_sequence("q", 8_000, 0.5, 32).codes().to_vec();
+    let unit = random_sequence("u", 40, 0.5, 33).codes().to_vec();
+    for k in 0..30 {
+        let at = 100 + k * 250;
+        t_codes[at..at + 40].copy_from_slice(&unit);
+        q_codes[at + 37..at + 77].copy_from_slice(&unit);
+    }
+    let gene = random_sequence("g", 300, 0.5, 34).codes().to_vec();
+    t_codes[7_500..7_800].copy_from_slice(&gene);
+    q_codes[7_500..7_800].copy_from_slice(&gene);
+    let target = Sequence::from_codes("t", t_codes);
+    let query = Sequence::from_codes("q", q_codes);
+
+    let shape = SeedShape::lastz_12of19();
+    let index = SeedIndex::build(&target, shape.clone());
+    let mask = WordMask::build(&target, &shape, 8);
+    assert!(mask.masked_words() > 0);
+
+    let unmasked = find_anchors(&index, &query);
+    let masked = find_anchors_masked(&index, &query, &mask);
+    // The repeat family dominates the raw anchors; masking removes the
+    // quadratic blow-up…
+    assert!(
+        masked.len() * 5 < unmasked.len(),
+        "masking removed too little: {} -> {}",
+        unmasked.len(),
+        masked.len()
+    );
+    // …but keeps the genuine single-copy homology.
+    assert!(
+        masked
+            .iter()
+            .any(|a| a.target_pos >= 7_500 && a.target_pos < 7_800),
+        "masking lost the single-copy gene anchors"
+    );
+}
+
+#[test]
+fn multi_gpu_integration_with_heterogeneous_fleet() {
+    use fastz::core::{run_fastz_multi_gpu, FastZConfig, Partition};
+    use fastz::gpu_sim::DeviceSpec;
+
+    let pair = demo_pair();
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 250,
+            ..WorkloadParams::default()
+        },
+    );
+    let cfg = FastZConfig::new(Scoring::bench_scaled(), DeviceSpec::rtx3080_ampere());
+    let fleet = vec![
+        DeviceSpec::rtx3080_ampere(),
+        DeviceSpec::qv100_volta(),
+        DeviceSpec::titan_x_pascal(),
+    ];
+    let multi = run_fastz_multi_gpu(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &cfg,
+        &fleet,
+        Partition::Strided,
+    );
+    assert!(!multi.alignments.is_empty());
+    assert_eq!(multi.per_device.len(), 3);
+    // The straggler must be the slowest modeled device's share.
+    let slowest = multi
+        .per_device
+        .iter()
+        .map(|r| r.modeled_time_s)
+        .fold(0.0f64, f64::max);
+    assert!(multi.modeled_time_s >= slowest);
+    for a in &multi.alignments {
+        assert!(a.is_consistent(&pair.target, &pair.query));
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests of the timing model's qualitative laws — the
+//! properties the paper's evaluation depends on, checked across crates.
+
+use fastz::core::{baseline_total_time, run_fastz, FastZConfig, OptFlags};
+use fastz::genome::{evolve::generate_pair, PairParams, Scoring};
+use fastz::gpu_sim::{
+    occupancy, time_kernel, time_stream_pipeline, BlockResources, CpuModel, DeviceSpec,
+    KernelSpec, WarpTask,
+};
+use fastz::seed::{Workload, WorkloadParams};
+
+fn small_run(flags: OptFlags, device: DeviceSpec) -> fastz::core::FastZReport {
+    let pair = generate_pair(&PairParams {
+        target_len: 15_000,
+        query_len: 15_000,
+        segments: 30,
+        ..PairParams::small_demo("sim", 404)
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 250,
+            ..WorkloadParams::default()
+        },
+    );
+    run_fastz(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &FastZConfig {
+            flags,
+            ..FastZConfig::new(Scoring::bench_scaled(), device)
+        },
+    )
+}
+
+#[test]
+fn newer_gpus_are_modeled_faster() {
+    let report = small_run(OptFlags::fastz(), DeviceSpec::rtx3080_ampere());
+    let pascal = report.retime(&DeviceSpec::titan_x_pascal(), 32).total();
+    let volta = report.retime(&DeviceSpec::qv100_volta(), 32).total();
+    let ampere = report.retime(&DeviceSpec::rtx3080_ampere(), 32).total();
+    assert!(pascal > volta, "pascal {pascal} !> volta {volta}");
+    assert!(volta >= ampere, "volta {volta} !>= ampere {ampere}");
+}
+
+#[test]
+fn cyclic_buffers_cut_modeled_dram_traffic_by_an_order_of_magnitude() {
+    let with = small_run(OptFlags::with_cyclic(), DeviceSpec::rtx3080_ampere());
+    let without = small_run(OptFlags::base(), DeviceSpec::rtx3080_ampere());
+    let bytes_with = with.stats.inspector.total.global_bytes();
+    let bytes_without = without.stats.inspector.total.global_bytes();
+    // §3.2: boundary-lane-only spills eliminate ≥ 96 % of score traffic.
+    assert!(
+        bytes_without as f64 / bytes_with as f64 > 10.0,
+        "traffic only dropped from {bytes_without} to {bytes_with}"
+    );
+}
+
+#[test]
+fn eager_traceback_eliminates_most_executor_runs() {
+    let with = small_run(OptFlags::with_eager(), DeviceSpec::rtx3080_ampere());
+    let without = small_run(OptFlags::with_cyclic(), DeviceSpec::rtx3080_ampere());
+    assert_eq!(without.stats.eager_resolved, 0);
+    assert!(with.stats.eager_resolved * 2 > with.stats.problems,
+        "eager resolved only {}/{}", with.stats.eager_resolved, with.stats.problems);
+    assert!(with.stats.executor.tasks < without.stats.executor.tasks);
+}
+
+#[test]
+fn trimming_reduces_executor_cells() {
+    let trimmed = small_run(OptFlags::fastz(), DeviceSpec::rtx3080_ampere());
+    let untrimmed = small_run(OptFlags::with_eager(), DeviceSpec::rtx3080_ampere());
+    assert!(
+        trimmed.stats.executor.total.cells < untrimmed.stats.executor.total.cells,
+        "trimmed {} !< untrimmed {}",
+        trimmed.stats.executor.total.cells,
+        untrimmed.stats.executor.total.cells
+    );
+}
+
+#[test]
+fn multicore_model_sits_between_sequential_and_fastz_at_scale() {
+    let cpu = CpuModel::ryzen_3950x();
+    let cells: u64 = 10_000_000_000;
+    let seq = cpu.sequential_time(cells);
+    let multi = cpu.multicore_time(&vec![cells / 32; 32]);
+    let speedup = seq / multi;
+    assert!((17.0..23.0).contains(&speedup), "multicore {speedup:.1}x");
+}
+
+#[test]
+fn feng_baseline_is_a_slowdown_on_small_search_spaces() {
+    let stats: Vec<fastz::align::ExtensionStats> = (0..100)
+        .map(|_| fastz::align::ExtensionStats {
+            cells: 20_000,
+            rows: 120,
+            max_cols: 200,
+        })
+        .collect();
+    let dev = DeviceSpec::rtx3080_ampere();
+    let gpu = baseline_total_time(&dev, &stats);
+    let cpu = CpuModel::ryzen_3950x().sequential_time(100 * 20_000);
+    let speedup = cpu / gpu;
+    assert!(
+        speedup < 1.0,
+        "baseline should be a slowdown, got {speedup:.2}x"
+    );
+    assert!(speedup > 0.2, "baseline unrealistically slow: {speedup:.2}x");
+}
+
+#[test]
+fn stream_overlap_beats_serialized_launches_on_skewed_kernels() {
+    let dev = DeviceSpec::rtx3080_ampere();
+    let mut kernels = Vec::new();
+    for _ in 0..8 {
+        let mut tasks = vec![
+            WarpTask {
+                cycles: 5_000.0,
+                dram_bytes: 0.0
+            };
+            512
+        ];
+        tasks.push(WarpTask {
+            cycles: 5e6,
+            dram_bytes: 0.0,
+        });
+        kernels.push(KernelSpec::new(
+            "k",
+            tasks,
+            BlockResources::fastz_inspector(),
+        ));
+    }
+    let single = time_stream_pipeline(&dev, &kernels, 1);
+    let multi = time_stream_pipeline(&dev, &kernels, 32);
+    assert!(
+        single.time_s / multi.time_s > 1.5,
+        "stream gain {:.2}",
+        single.time_s / multi.time_s
+    );
+}
+
+#[test]
+fn occupancy_feeds_kernel_timing() {
+    let dev = DeviceSpec::rtx3080_ampere();
+    let res = BlockResources::fastz_inspector();
+    let occ = occupancy(&dev, &res);
+    assert!(occ.warps_per_sm >= 8);
+    let spec = KernelSpec::new(
+        "k",
+        vec![
+            WarpTask {
+                cycles: 1_000.0,
+                dram_bytes: 64.0
+            };
+            4096
+        ],
+        res,
+    );
+    let t = time_kernel(&dev, &spec);
+    assert!(t.time_s > 0.0);
+    assert!(t.compute_s > 0.0);
+    assert!(t.memory_s > 0.0);
+}
