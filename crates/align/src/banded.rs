@@ -94,12 +94,20 @@ pub fn banded_extend(
             let (i_val, i_ext) = {
                 let open = s_left + so_se;
                 let ext = i_left + se;
-                if ext >= open { (ext, true) } else { (open, false) }
+                if ext >= open {
+                    (ext, true)
+                } else {
+                    (open, false)
+                }
             };
             let (d_val, d_ext) = {
                 let open = s_up + so_se;
                 let ext = d_up + se;
-                if ext >= open { (ext, true) } else { (open, false) }
+                if ext >= open {
+                    (ext, true)
+                } else {
+                    (open, false)
+                }
             };
             let diag_val = if j >= 1 {
                 s_diag + scoring.subst.score(target[j - 1], query[i - 1])
@@ -132,7 +140,11 @@ pub fn banded_extend(
                 }
             }
             if want_traceback {
-                let mut byte = if dead || s_val <= NEG_INF / 2 { tb::S_ORIGIN } else { s_src };
+                let mut byte = if dead || s_val <= NEG_INF / 2 {
+                    tb::S_ORIGIN
+                } else {
+                    s_src
+                };
                 if i_ext {
                     byte |= tb::I_EXTEND;
                 }

@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn expensive_join_prefers_the_single_best_block() {
-        let a = [block(0, 10, 0, 10, 500), block(100_000, 100_010, 100_000, 100_010, 400)];
+        let a = [
+            block(0, 10, 0, 10, 500),
+            block(100_000, 100_010, 100_000, 100_010, 400),
+        ];
         let c = best_chain(&a, &ChainPenalties::default()).unwrap();
         // Joining costs ~100 + 0.5·2·99,990 ≈ 100,090 — far more than 400.
         assert_eq!(c.members, vec![0]);

@@ -234,7 +234,6 @@ pub fn sequential_ungapped_filtered(
     }
 }
 
-
 /// Runs a Darwin-WGA-style banded-filtered driver: seeds are extended
 /// with *banded* Smith-Waterman (band ±`band` cells around the seed
 /// diagonal, paper §2.1/§2.3) and kept when the banded score reaches the
@@ -279,8 +278,16 @@ pub fn sequential_banded(
         let rq = &qc[q0 + seed_span..qc.len().min(q0 + seed_span + max_ext)];
         let right = banded_extend(rt, rq, band, &config.scoring, config.extend.traceback);
         // Left half on reversed prefixes.
-        let lt: Vec<u8> = tc[t0.saturating_sub(max_ext)..t0].iter().rev().copied().collect();
-        let lq: Vec<u8> = qc[q0.saturating_sub(max_ext)..q0].iter().rev().copied().collect();
+        let lt: Vec<u8> = tc[t0.saturating_sub(max_ext)..t0]
+            .iter()
+            .rev()
+            .copied()
+            .collect();
+        let lq: Vec<u8> = qc[q0.saturating_sub(max_ext)..q0]
+            .iter()
+            .rev()
+            .copied()
+            .collect();
         let left = banded_extend(&lt, &lq, band, &config.scoring, config.extend.traceback);
 
         stats.extended += 1;

@@ -18,6 +18,7 @@ pub mod format;
 pub mod multicore;
 pub mod stats;
 pub mod strand;
+pub mod trace;
 pub mod ungapped;
 pub mod ydrop;
 
@@ -33,5 +34,9 @@ pub use format::{gapped_rows, write_general, write_maf};
 pub use multicore::multicore_gapped;
 pub use stats::{score_exceedance, summarize, AlignmentSummary, LengthHistogram};
 pub use strand::{sequential_gapped_both_strands, BothStrandsReport, Strand, StrandedAlignment};
+pub use trace::{CellScores, CellSink, DenseTrace, NoTrace};
 pub use ungapped::{xdrop_extend, Hsp};
-pub use ydrop::{walk_traceback_with, ydrop_extend, ExtensionStats, OneSidedExtension, PruneMode};
+pub use ydrop::{
+    walk_traceback_with, ydrop_extend, ydrop_extend_traced, ExtensionStats, OneSidedExtension,
+    PruneMode,
+};

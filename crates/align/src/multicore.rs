@@ -29,65 +29,66 @@ pub fn multicore_gapped(
     let workers = workers.min(anchors.len().max(1));
     let chunk = anchors.len().div_ceil(workers);
 
-    let partials: Vec<(Vec<Alignment>, DriverStats, Vec<crate::driver::ExtensionRecord>)> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for part in anchors.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move |_| {
-                    let mut scratch = ExtendScratch::default();
-                    let mut alignments: Vec<Alignment> = Vec::new();
-                    let mut records = Vec::new();
-                    let mut stats = DriverStats {
-                        seeds: part.len(),
-                        ..DriverStats::default()
-                    };
-                    for &anchor in part {
-                        if config.work_reduction {
-                            let t = anchor.target_pos as usize;
-                            let q = anchor.query_pos as usize;
-                            if alignments.iter().any(|a| a.contains_point(t, q)) {
-                                stats.skipped += 1;
-                                continue;
-                            }
-                        }
-                        let ext = gapped_extend_with(
-                            target,
-                            query,
-                            anchor,
-                            seed_span,
-                            &config.scoring,
-                            &config.extend,
-                            &mut scratch,
-                        );
-                        stats.extended += 1;
-                        stats.total_cells += ext.cells();
-                        if config.record_extensions {
-                            records.push(crate::driver::ExtensionRecord {
-                                anchor,
-                                score: ext.alignment.score,
-                                max_extent: ext.max_extent(),
-                                cells: ext.cells(),
-                                optimal_cells: ((ext.left_extent.0 + 1)
-                                    * (ext.left_extent.1 + 1)
-                                    + (ext.right_extent.0 + 1) * (ext.right_extent.1 + 1))
-                                    as u64,
-                                left_stats: ext.left_stats,
-                                right_stats: ext.right_stats,
-                            });
-                        }
-                        if ext.alignment.score >= config.scoring.gapped_threshold {
-                            alignments.push(ext.alignment);
+    let partials: Vec<(
+        Vec<Alignment>,
+        DriverStats,
+        Vec<crate::driver::ExtensionRecord>,
+    )> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in anchors.chunks(chunk.max(1)) {
+            handles.push(scope.spawn(move || {
+                let mut scratch = ExtendScratch::default();
+                let mut alignments: Vec<Alignment> = Vec::new();
+                let mut records = Vec::new();
+                let mut stats = DriverStats {
+                    seeds: part.len(),
+                    ..DriverStats::default()
+                };
+                for &anchor in part {
+                    if config.work_reduction {
+                        let t = anchor.target_pos as usize;
+                        let q = anchor.query_pos as usize;
+                        if alignments.iter().any(|a| a.contains_point(t, q)) {
+                            stats.skipped += 1;
+                            continue;
                         }
                     }
-                    (alignments, stats, records)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("thread scope failed");
+                    let ext = gapped_extend_with(
+                        target,
+                        query,
+                        anchor,
+                        seed_span,
+                        &config.scoring,
+                        &config.extend,
+                        &mut scratch,
+                    );
+                    stats.extended += 1;
+                    stats.total_cells += ext.cells();
+                    if config.record_extensions {
+                        records.push(crate::driver::ExtensionRecord {
+                            anchor,
+                            score: ext.alignment.score,
+                            max_extent: ext.max_extent(),
+                            cells: ext.cells(),
+                            optimal_cells: ((ext.left_extent.0 + 1) * (ext.left_extent.1 + 1)
+                                + (ext.right_extent.0 + 1) * (ext.right_extent.1 + 1))
+                                as u64,
+                            left_stats: ext.left_stats,
+                            right_stats: ext.right_stats,
+                        });
+                    }
+                    if ext.alignment.score >= config.scoring.gapped_threshold {
+                        alignments.push(ext.alignment);
+                    }
+                }
+                (alignments, stats, records)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut alignments = Vec::new();
     let mut records = Vec::new();

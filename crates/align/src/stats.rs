@@ -80,7 +80,11 @@ impl LengthHistogram {
         let mut out = String::new();
         for (b, &n) in self.buckets.iter().enumerate() {
             if n > 0 {
-                out.push_str(&format!("[{:>7}, {:>7}): {n}\n", 1usize << b, 1usize << (b + 1)));
+                out.push_str(&format!(
+                    "[{:>7}, {:>7}): {n}\n",
+                    1usize << b,
+                    1usize << (b + 1)
+                ));
             }
         }
         out

@@ -87,18 +87,26 @@ pub fn sequential_gapped_both_strands(
     let reverse = run(&rc);
 
     let mut alignments: Vec<StrandedAlignment> = Vec::new();
-    alignments.extend(forward.alignments.iter().cloned().map(|alignment| {
-        StrandedAlignment {
-            alignment,
-            strand: Strand::Forward,
-        }
-    }));
-    alignments.extend(reverse.alignments.iter().cloned().map(|alignment| {
-        StrandedAlignment {
-            alignment,
-            strand: Strand::Reverse,
-        }
-    }));
+    alignments.extend(
+        forward
+            .alignments
+            .iter()
+            .cloned()
+            .map(|alignment| StrandedAlignment {
+                alignment,
+                strand: Strand::Forward,
+            }),
+    );
+    alignments.extend(
+        reverse
+            .alignments
+            .iter()
+            .cloned()
+            .map(|alignment| StrandedAlignment {
+                alignment,
+                strand: Strand::Reverse,
+            }),
+    );
 
     BothStrandsReport {
         alignments,

@@ -92,7 +92,9 @@ pub fn xdrop_extend(
     // Seed body score.
     let mut seed_score = 0i32;
     for k in 0..seed_span {
-        seed_score += scoring.subst.score(target[target_pos + k], query[query_pos + k]);
+        seed_score += scoring
+            .subst
+            .score(target[target_pos + k], query[query_pos + k]);
     }
 
     let (left_steps, left_score) = walk(

@@ -19,10 +19,17 @@
 //!   exact mode's cells and can only find an equal or higher score.
 
 use crate::alignment::EditOp;
+use crate::trace::{CellScores, CellSink, NoTrace};
 use fastz_genome::Scoring;
 
 /// Sentinel for unreachable DP states; low enough that adding any score
 /// never overflows, high enough that two adds stay negative.
+///
+/// Overflow discipline: every value the engine *stores* is clamped to at
+/// least `NEG_INF` (see the store sites below), so any single addition of
+/// a stored value and a bounded score constant stays far above
+/// `i32::MIN`. Without the clamp, a long dead I/D chain accumulates
+/// `NEG_INF + k·extend_score` and would wrap after ~3·10⁸ columns.
 pub const NEG_INF: i32 = i32::MIN / 4;
 
 /// Pruning rule (see module docs).
@@ -131,7 +138,11 @@ pub fn walk_traceback(tbm: &Traceback, i: usize, j: usize) -> Vec<EditOp> {
 /// [`walk_traceback`] over any packed-byte source (the warp engine's
 /// shared-memory eager window and the executor's trimmed matrix use this
 /// directly).
-pub fn walk_traceback_with(get: impl Fn(usize, usize) -> u8, mut i: usize, mut j: usize) -> Vec<EditOp> {
+pub fn walk_traceback_with(
+    get: impl Fn(usize, usize) -> u8,
+    mut i: usize,
+    mut j: usize,
+) -> Vec<EditOp> {
     #[derive(PartialEq)]
     enum State {
         S,
@@ -223,6 +234,29 @@ pub fn ydrop_extend_with(
     want_traceback: bool,
     scratch: &mut YDropScratch,
 ) -> OneSidedExtension {
+    ydrop_extend_traced(
+        target,
+        query,
+        scoring,
+        mode,
+        want_traceback,
+        scratch,
+        &mut NoTrace,
+    )
+}
+
+/// [`ydrop_extend_with`] that additionally reports every live cell to
+/// `sink` (the conformance oracle's cell-for-cell hook; [`NoTrace`]
+/// compiles the calls away on the production path).
+pub fn ydrop_extend_traced<K: CellSink>(
+    target: &[u8],
+    query: &[u8],
+    scoring: &Scoring,
+    mode: PruneMode,
+    want_traceback: bool,
+    scratch: &mut YDropScratch,
+    sink: &mut K,
+) -> OneSidedExtension {
     let so_se = scoring.gaps.open_score();
     let se = scoring.gaps.extend_score();
     let ydrop = scoring.ydrop;
@@ -269,6 +303,15 @@ pub fn ydrop_extend_with(
                 }
             }
             stats.cells += 1;
+            sink.record(
+                0,
+                j,
+                CellScores {
+                    s: s_val,
+                    i: i_val,
+                    d: NEG_INF,
+                },
+            );
             s_prev.push(s_val);
             d_prev.push(NEG_INF);
             j += 1;
@@ -308,20 +351,20 @@ pub fn ydrop_extend_with(
         let mut s_left = NEG_INF; // S[i][j-1]
         let mut j = lo;
         loop {
-            // Inputs from the previous row.
-            let idx_up = j.wrapping_sub(prev_lo);
-            let (s_up, d_up) = if j >= prev_lo && idx_up < prev_hi - prev_lo {
-                (s_prev[idx_up], d_prev[idx_up])
-            } else {
-                (NEG_INF, NEG_INF)
+            // Inputs from the previous row. A column maps into the stored
+            // interval iff `prev_lo <= col < prev_hi`; `checked_sub`
+            // makes the underflowing cases (`col < prev_lo`, or the
+            // diagonal into column 0) explicit instead of relying on
+            // wrapped indices being out of range.
+            debug_assert!(prev_lo <= prev_hi);
+            let prev_idx = |col: usize| col.checked_sub(prev_lo).filter(|&k| k < prev_hi - prev_lo);
+            let (s_up, d_up) = match prev_idx(j) {
+                Some(k) => (s_prev[k], d_prev[k]),
+                None => (NEG_INF, NEG_INF),
             };
-            let idx_diag = (j.wrapping_sub(1)).wrapping_sub(prev_lo);
-            let s_diag = if j >= 1 && j - 1 >= prev_lo && idx_diag < prev_hi - prev_lo {
-                s_prev[idx_diag]
-            } else if j == 0 && prev_lo == 0 {
-                NEG_INF // no diagonal into column 0
-            } else {
-                NEG_INF
+            let s_diag = match j.checked_sub(1).and_then(prev_idx) {
+                Some(k) => s_prev[k],
+                None => NEG_INF, // no diagonal into column 0 / outside interval
             };
 
             // Gotoh recurrences (paper Fig. 1).
@@ -368,8 +411,28 @@ pub fn ydrop_extend_with(
             let (s_store, i_store, d_store) = if dead {
                 (NEG_INF, NEG_INF, NEG_INF)
             } else {
-                (s_val, i_val, d_val)
+                // A live cell's S is a real path score (it is >= the
+                // threshold, which is >= -ydrop), but its I/D may still
+                // be sentinel-derived garbage; clamp those at the
+                // NEG_INF floor so dead gap chains cannot drift toward
+                // i32::MIN (see the constant's docs).
+                debug_assert!(
+                    s_val > NEG_INF / 2,
+                    "live cell ({i},{j}) carries a sentinel-derived S value {s_val}"
+                );
+                (s_val, i_val.max(NEG_INF), d_val.max(NEG_INF))
             };
+            if !dead {
+                sink.record(
+                    i,
+                    j,
+                    CellScores {
+                        s: s_store,
+                        i: i_store,
+                        d: d_store,
+                    },
+                );
+            }
 
             s_cur.push(s_store);
             d_cur.push(d_store);
@@ -412,7 +475,7 @@ pub fn ydrop_extend_with(
             }
             // Past the previous row's interval only the I chain feeds new
             // cells; stop once it cannot recover above the threshold.
-            if j >= prev_hi + 1 {
+            if j > prev_hi {
                 let threshold = match mode {
                     PruneMode::Exact => running_best - ydrop,
                     PruneMode::Conservative => threshold_base,

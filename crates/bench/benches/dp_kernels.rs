@@ -68,10 +68,14 @@ fn bench_warp_engine(c: &mut Criterion) {
             let mut shared = SharedMem::new(96 * 1024);
             b.iter(|| warp_extend(&t, &q, &scoring, &insp, &mut shared).best_score)
         });
-        g.bench_with_input(BenchmarkId::new("inspector_no_cyclic", len), &len, |b, _| {
-            let mut shared = SharedMem::new(96 * 1024);
-            b.iter(|| warp_extend(&t, &q, &scoring, &no_cyclic, &mut shared).best_score)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("inspector_no_cyclic", len),
+            &len,
+            |b, _| {
+                let mut shared = SharedMem::new(96 * 1024);
+                b.iter(|| warp_extend(&t, &q, &scoring, &no_cyclic, &mut shared).best_score)
+            },
+        );
         // Executor: trimmed to the inspector's optimum.
         let mut shared = SharedMem::new(96 * 1024);
         let pre = warp_extend(&t, &q, &scoring, &insp, &mut shared);
@@ -98,5 +102,10 @@ fn bench_baselines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scalar_ydrop, bench_warp_engine, bench_baselines);
+criterion_group!(
+    benches,
+    bench_scalar_ydrop,
+    bench_warp_engine,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -14,7 +14,10 @@ fn main() {
         .into_iter()
         .find(|p| opts.selects(p.label))
         .expect("no pair selected");
-    println!("pair {} scale 1/{} max-anchors {}", pair.label, opts.scale.divisor, opts.max_anchors);
+    println!(
+        "pair {} scale 1/{} max-anchors {}",
+        pair.label, opts.scale.divisor, opts.max_anchors
+    );
     println!(
         "scoring: ydrop {}, gaps {}/{}",
         scoring.ydrop, scoring.gaps.open, scoring.gaps.extend
@@ -25,8 +28,15 @@ fn main() {
     let eval = evaluate_pair(&wl, &scoring);
 
     println!("\n-- sequential reference --");
-    println!("cells {}  (per seed {:.0})", eval.seq_cells, eval.seq_cells as f64 / eval.seeds as f64);
-    println!("modeled {:.6} s   measured(Rust) {:.3} s", eval.seq_model_s, eval.seq_wall_s);
+    println!(
+        "cells {}  (per seed {:.0})",
+        eval.seq_cells,
+        eval.seq_cells as f64 / eval.seeds as f64
+    );
+    println!(
+        "modeled {:.6} s   measured(Rust) {:.3} s",
+        eval.seq_model_s, eval.seq_wall_s
+    );
 
     println!("\n-- FastZ functional stats --");
     let st = &eval.fastz.stats;
@@ -72,10 +82,18 @@ fn main() {
         .iter()
         .map(|k| k.longest_task_cycles())
         .fold(0.0, f64::max);
-    println!("longest inspector task: {:.0} cycles ({:.6} s on Ampere)", longest, longest / 1.71e9);
+    println!(
+        "longest inspector task: {:.0} cycles ({:.6} s on Ampere)",
+        longest,
+        longest / 1.71e9
+    );
 
     println!("\n-- baselines --");
-    println!("multicore32 modeled {:.6} s  speedup {:.1}x", eval.multicore_s, eval.multicore_speedup());
+    println!(
+        "multicore32 modeled {:.6} s  speedup {:.1}x",
+        eval.multicore_s,
+        eval.multicore_speedup()
+    );
     for (g, dev) in paper_gpus().iter().enumerate() {
         println!(
             "feng-{:<7} modeled {:.6} s  speedup {:.2}x",

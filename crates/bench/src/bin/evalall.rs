@@ -57,13 +57,18 @@ fn main() {
     mean_row.extend(cols.iter().map(|c| speedup(mean(c))));
     t.row(mean_row);
     t.print();
-    println!(
-        "paper means: GPU baseline 0.57-0.82x, multicore 20x, FastZ 43/93/111x\n"
-    );
+    println!("paper means: GPU baseline 0.57-0.82x, multicore 20x, FastZ 43/93/111x\n");
 
     println!("Table 2: alignment length distribution\n");
     let mut t = Table::new(&[
-        "benchmark", "seeds", "eager-tb", "bin1", "bin2", "bin3", "bin4", "eager%",
+        "benchmark",
+        "seeds",
+        "eager-tb",
+        "bin1",
+        "bin2",
+        "bin3",
+        "bin4",
+        "eager%",
     ]);
     for e in &evals {
         let b = &e.fastz.bin_counts;
@@ -79,13 +84,16 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "paper (per 1M): eager 75-82%, bin1 18-24%, bins 2-4 thin and decreasing\n"
-    );
+    println!("paper (per 1M): eager 75-82%, bin1 18-24%, bins 2-4 thin and decreasing\n");
 
     println!("Figure 8: execution-time breakdown on Ampere\n");
     let mut t = Table::new(&[
-        "benchmark", "total (ms)", "inspector", "executor", "other", "bin4",
+        "benchmark",
+        "total (ms)",
+        "inspector",
+        "executor",
+        "other",
+        "bin4",
     ]);
     for e in &evals {
         let tl = &e.fastz.timeline;

@@ -4,8 +4,8 @@
 //! (b) the ungapped-filtered pipeline (x-drop HSP filter before gapped
 //! extension — "ungapped LASTZ"), then compares the alignments found.
 //! The paper's claim: the gapped version finds more, longer,
-//! higher-scoring alignments (e.g. 41 vs 17 alignments with score
-//! > 10,000 on the C. elegans/C. briggsae million-seed workload).
+//! higher-scoring alignments (e.g. 41 vs 17 alignments scoring above
+//! 10,000 on the C. elegans/C. briggsae million-seed workload).
 //! Scatter data (length, score) for both variants is written to TSV
 //! files for plotting.
 
@@ -91,13 +91,8 @@ fn main() {
     let cfg = DriverConfig::gapped(scoring);
     let span = wl.shape.span();
     let gapped = sequential_gapped(&generated.target, &generated.query, &wl.anchors, span, &cfg);
-    let ungapped = sequential_ungapped_filtered(
-        &generated.target,
-        &generated.query,
-        &wl.anchors,
-        span,
-        &cfg,
-    );
+    let ungapped =
+        sequential_ungapped_filtered(&generated.target, &generated.query, &wl.anchors, span, &cfg);
 
     let thresholds = [5_000, 10_000, 20_000];
     let mut t = Table::new(&[
@@ -133,7 +128,10 @@ fn main() {
     );
     println!(
         "gapped finds {} alignments the ungapped filter never extends",
-        gapped.alignments.len().saturating_sub(ungapped.alignments.len())
+        gapped
+            .alignments
+            .len()
+            .saturating_sub(ungapped.alignments.len())
     );
 
     write_scatter("fig2_gapped.tsv", &gapped).expect("write fig2_gapped.tsv");

@@ -2,9 +2,9 @@
 //!
 //! Progressively enables the paper's optimizations — base
 //! (inspector-executor + lightweight inspector + length-binned load
-//! balancing), + cyclic use-and-discard buffers, + eager traceback,
-//! + executor trimming (= FastZ) — and finally restricts FastZ to a
-//! single CUDA stream. Reports the mean speedup over sequential LASTZ
+//! balancing), then cyclic use-and-discard buffers, then eager
+//! traceback, then executor trimming (= FastZ) — and finally restricts
+//! FastZ to a single CUDA stream. Reports the mean speedup over sequential LASTZ
 //! per GPU, like the paper's grouped bars (Pascal ≈ 0.92→4.7→15→43×,
 //! Volta ≈ …→93×, Ampere ≈ 2.8→17→46→111×; single stream 1.7-2.4× worse).
 //!
@@ -37,8 +37,9 @@ fn main() {
 
     // speedups[config][gpu] -> per-pair values
     let progression = OptFlags::figure9_progression();
-    let mut speedups: Vec<[Vec<f64>; 3]> =
-        (0..progression.len()).map(|_| [vec![], vec![], vec![]]).collect();
+    let mut speedups: Vec<[Vec<f64>; 3]> = (0..progression.len())
+        .map(|_| [vec![], vec![], vec![]])
+        .collect();
 
     for pair in within_genus_pairs() {
         if !opts.selects(pair.label) {

@@ -55,8 +55,18 @@ fn main() {
     let insp = &fz.stats.inspector.total;
     let exec = &fz.stats.executor.total;
     let binsp = &base.stats.inspector.total;
-    let r_insp = add("inspector", insp.alu_ops, insp.global_bytes(), "24 (compute)");
-    let r_exec = add("executor", exec.alu_ops, exec.global_bytes(), "6.5 (memory)");
+    let r_insp = add(
+        "inspector",
+        insp.alu_ops,
+        insp.global_bytes(),
+        "24 (compute)",
+    );
+    let r_exec = add(
+        "executor",
+        exec.alu_ops,
+        exec.global_bytes(),
+        "6.5 (memory)",
+    );
     let r_base = add(
         "no-cyclic inspector",
         binsp.alu_ops,
@@ -72,8 +82,20 @@ fn main() {
     );
     println!("paper §6: nominal 39, derated 15.2");
 
-    assert_eq!(r_insp.bound, Bound::Compute, "inspector should be compute-bound");
-    assert_eq!(r_exec.bound, Bound::Memory, "executor should be memory-bound");
-    assert_eq!(r_base.bound, Bound::Memory, "unoptimized kernel should be memory-bound");
+    assert_eq!(
+        r_insp.bound,
+        Bound::Compute,
+        "inspector should be compute-bound"
+    );
+    assert_eq!(
+        r_exec.bound,
+        Bound::Memory,
+        "executor should be memory-bound"
+    );
+    assert_eq!(
+        r_base.bound,
+        Bound::Memory,
+        "unoptimized kernel should be memory-bound"
+    );
     println!("\nbound classifications match the paper.");
 }

@@ -8,8 +8,7 @@
 //! both on one benchmark pair.
 
 use fastz_align::{
-    sequential_banded, sequential_gapped, sequential_ungapped_filtered, DriverConfig,
-    DriverReport,
+    sequential_banded, sequential_gapped, sequential_ungapped_filtered, DriverConfig, DriverReport,
 };
 use fastz_bench::{HarnessOpts, PairWorkload, Table};
 use fastz_genome::{within_genus_pairs, Scoring};

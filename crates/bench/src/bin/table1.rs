@@ -14,9 +14,18 @@ fn main() {
     }
     t.print();
 
-    println!("\nFigure 6: within-genus pairs (synthetic at 1/{} scale)\n", opts.scale.divisor);
+    println!(
+        "\nFigure 6: within-genus pairs (synthetic at 1/{} scale)\n",
+        opts.scale.divisor
+    );
     let mut t = Table::new(&[
-        "pair", "target", "query", "real t-bp", "real q-bp", "synthetic t-bp", "synthetic q-bp",
+        "pair",
+        "target",
+        "query",
+        "real t-bp",
+        "real q-bp",
+        "synthetic t-bp",
+        "synthetic q-bp",
         "planted segs",
     ]);
     for pair in catalog::within_genus_pairs() {
@@ -38,8 +47,17 @@ fn main() {
     }
     t.print();
 
-    println!("\nFigure 10: cross-genus pairs (synthetic at 1/{} scale)\n", opts.scale.divisor);
-    let mut t = Table::new(&["pair", "target", "query", "synthetic t-bp", "synthetic q-bp"]);
+    println!(
+        "\nFigure 10: cross-genus pairs (synthetic at 1/{} scale)\n",
+        opts.scale.divisor
+    );
+    let mut t = Table::new(&[
+        "pair",
+        "target",
+        "query",
+        "synthetic t-bp",
+        "synthetic q-bp",
+    ]);
     for pair in catalog::cross_genus_pairs() {
         if !opts.selects(pair.label) {
             continue;

@@ -25,7 +25,14 @@ fn main() {
     );
 
     let mut t = Table::new(&[
-        "benchmark", "seeds", "eager-tb", "bin1", "bin2", "bin3", "bin4", "eager%",
+        "benchmark",
+        "seeds",
+        "eager-tb",
+        "bin1",
+        "bin2",
+        "bin3",
+        "bin4",
+        "eager%",
     ]);
     for pair in within_genus_pairs() {
         if !opts.selects(pair.label) {

@@ -185,8 +185,7 @@ mod tests {
         // the fig7 harness): FastZ beats sequential on its GPU phases,
         // multicore beats sequential, and the Feng baseline never beats
         // FastZ.
-        let fz_gpu_only = eval.seq_model_s
-            / (eval.fastz_s[2] - eval.fastz.other_s).max(1e-12);
+        let fz_gpu_only = eval.seq_model_s / (eval.fastz_s[2] - eval.fastz.other_s).max(1e-12);
         assert!(fz_gpu_only > 5.0, "gpu-only {fz_gpu_only}");
         assert!(eval.fastz_speedup(2) > 1.0);
         assert!(eval.multicore_speedup() > 1.0);

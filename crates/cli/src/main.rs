@@ -131,8 +131,14 @@ fn load_inputs(opts: &Options) -> Result<(Sequence, Sequence), String> {
     };
     let mut t = read_fasta_file(tp).map_err(|e| format!("{tp}: {e}"))?;
     let mut q = read_fasta_file(qp).map_err(|e| format!("{qp}: {e}"))?;
-    let target = t.drain(..).next().ok_or_else(|| format!("{tp}: no records"))?;
-    let query = q.drain(..).next().ok_or_else(|| format!("{qp}: no records"))?;
+    let target = t
+        .drain(..)
+        .next()
+        .ok_or_else(|| format!("{tp}: no records"))?;
+    let query = q
+        .drain(..)
+        .next()
+        .ok_or_else(|| format!("{qp}: no records"))?;
     Ok((target, query))
 }
 
@@ -163,7 +169,11 @@ fn main() -> ExitCode {
             eprintln!("fastz: writing fasta: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("fastz: wrote {tp} ({} bp) and {qp} ({} bp)", target.len(), query.len());
+        eprintln!(
+            "fastz: wrote {tp} ({} bp) and {qp} ({} bp)",
+            target.len(),
+            query.len()
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -336,10 +346,7 @@ fn main() -> ExitCode {
                 .alignments
             }
             _ => {
-                let cfg = FastZConfig::new(
-                    scoring_for_minus.clone(),
-                    DeviceSpec::rtx3080_ampere(),
-                );
+                let cfg = FastZConfig::new(scoring_for_minus.clone(), DeviceSpec::rtx3080_ampere());
                 run_fastz(&target, &rc, &wl.anchors, wl.shape.span(), &cfg).alignments
             }
         };
@@ -360,18 +367,25 @@ fn scoring_preset(name: &str) -> Option<Scoring> {
 
 /// Writes alignments in the selected format; `strand` marks the query
 /// strand (coordinates refer to the sequence actually aligned).
-fn emit(alignments: &[Alignment], target: &Sequence, query: &Sequence, strand: char, opts: &Options) {
+fn emit(
+    alignments: &[Alignment],
+    target: &Sequence,
+    query: &Sequence,
+    strand: char,
+    opts: &Options,
+) {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     use std::io::Write;
     match opts.format.as_str() {
         "maf" => write_maf(&mut out, alignments, target, query).expect("write maf"),
-        "general" => {
-            write_general(&mut out, alignments, target, query).expect("write general")
-        }
+        "general" => write_general(&mut out, alignments, target, query).expect("write general"),
         _ => {
-            writeln!(out, "#score\ttname\ttstart\ttend\tqname\tqstart\tqend\tstrand\tcigar")
-                .unwrap();
+            writeln!(
+                out,
+                "#score\ttname\ttstart\ttend\tqname\tqstart\tqend\tstrand\tcigar"
+            )
+            .unwrap();
             for a in alignments {
                 writeln!(
                     out,
@@ -414,8 +428,17 @@ mod tests {
     #[test]
     fn positional_and_flags() {
         let o = Options::parse(&sv(&[
-            "t.fa", "q.fa", "--engine", "lastz", "--threads", "8", "--both-strands",
-            "--format", "maf", "--max-anchors", "500",
+            "t.fa",
+            "q.fa",
+            "--engine",
+            "lastz",
+            "--threads",
+            "8",
+            "--both-strands",
+            "--format",
+            "maf",
+            "--max-anchors",
+            "500",
         ]))
         .unwrap();
         assert_eq!(o.target.as_deref(), Some("t.fa"));

@@ -1,0 +1,151 @@
+//! `conformance` — fuzz the four FastZ engines against each other and
+//! the dense DP oracle, emitting a JSON divergence report.
+//!
+//! ```text
+//! conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]
+//!             [--corrupt DELTA] [--replay CATEGORY:SEED]
+//! ```
+//!
+//! Exit status: 0 when every invariant held, 1 when any divergence was
+//! found, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use fastz_conformance::{replay, report, run_suite, Category, SuiteConfig};
+
+struct Args {
+    config: SuiteConfig,
+    out: Option<String>,
+    replay: Option<(Category, u64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
+         \x20                  [--corrupt DELTA] [--replay CATEGORY:SEED]\n\
+         \n\
+         Fuzzes N reproducible pairs through the scalar exact, scalar\n\
+         conservative, warp, and pipeline engines, checks the paper's\n\
+         invariants cell-for-cell against a dense DP oracle, and writes a\n\
+         JSON divergence report (first divergent cell, engine pair, replay\n\
+         seed). --corrupt adds DELTA to the warp engine's match score to\n\
+         demonstrate the report end to end. --replay re-runs one case by\n\
+         its reported category and seed."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: SuiteConfig::default(),
+        out: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--pairs" => args.config.pairs = value("--pairs").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value("--out")),
+            "--max-extent" => {
+                args.config.max_extent = value("--max-extent").parse().unwrap_or_else(|_| usage())
+            }
+            "--corrupt" => {
+                args.config.corrupt_warp_match =
+                    value("--corrupt").parse().unwrap_or_else(|_| usage())
+            }
+            "--replay" => {
+                let spec = value("--replay");
+                let Some((cat, seed)) = spec.split_once(':') else {
+                    eprintln!("--replay wants CATEGORY:SEED, got {spec}");
+                    usage();
+                };
+                let Some(category) = Category::from_name(cat) else {
+                    eprintln!("unknown category {cat}");
+                    usage();
+                };
+                let seed = seed.parse().unwrap_or_else(|_| usage());
+                args.replay = Some((category, seed));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some((category, seed)) = args.replay {
+        let (case, checks, divergences) = replay(category, seed);
+        println!(
+            "replay {}:{} — target {} bp, query {} bp, {} checks",
+            category.name(),
+            seed,
+            case.target.len(),
+            case.query.len(),
+            checks
+        );
+        for d in &divergences {
+            println!(
+                "  DIVERGENCE [{}] {}: {}{}",
+                d.invariant,
+                d.engines,
+                d.message,
+                d.first_divergent_cell
+                    .map(|c| format!(" (first divergent cell ({}, {}))", c.i, c.j))
+                    .unwrap_or_default()
+            );
+        }
+        return if divergences.is_empty() {
+            println!("  clean");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let suite = run_suite(&args.config);
+    let json = report::to_json(&suite);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "{} cases, {} checks, {} divergences",
+        suite.cases,
+        suite.checks,
+        suite.divergences.len()
+    );
+    for d in suite.divergences.iter().take(10) {
+        eprintln!(
+            "  [{}] {} ({}:{}): {}",
+            d.invariant,
+            d.engines,
+            d.category.name(),
+            d.seed,
+            d.message
+        );
+    }
+    if suite.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

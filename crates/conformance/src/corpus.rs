@@ -1,0 +1,260 @@
+//! Seeded, reproducible corpora for the differential oracle.
+//!
+//! Every case is fully determined by `(category, seed)`: the CLI prints
+//! the pair so a reported divergence can be replayed bit-for-bit with
+//! `conformance --replay <category>:<seed>`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fastz_core::{BIN_BOUNDS, EAGER_BOUND};
+use fastz_genome::evolve::random_codes;
+
+/// Corpus family, each stressing a different part of the engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Noisy copy (substitutions only): long unique optimum.
+    CleanHomology,
+    /// Copy with frequent short indels: exercises the I/D chains.
+    IndelDense,
+    /// Two unrelated sequences: pruning must terminate the search fast.
+    Garbage,
+    /// Planted homology whose extent straddles a strip boundary
+    /// (multiples of the 32-lane strip width ± 1): exercises the spill
+    /// buffer hand-off.
+    StripStraddle,
+    /// Planted homology of extent 15 / 16 / 17: straddles the eager
+    /// traceback window bound.
+    EagerEdge,
+    /// Identical pair whose extent lands on an executor bin bound ± 1
+    /// (512 / 2048 / 8192 / 32768): exercises length classification.
+    BinBoundary,
+}
+
+impl Category {
+    /// All fuzzable families (bin-boundary cases are a fixed set, not
+    /// fuzzed, because their extents are prescribed).
+    pub const FUZZ: [Category; 5] = [
+        Category::CleanHomology,
+        Category::IndelDense,
+        Category::Garbage,
+        Category::StripStraddle,
+        Category::EagerEdge,
+    ];
+
+    /// Stable name used in reports and `--replay`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::CleanHomology => "clean-homology",
+            Category::IndelDense => "indel-dense",
+            Category::Garbage => "garbage",
+            Category::StripStraddle => "strip-straddle",
+            Category::EagerEdge => "eager-edge",
+            Category::BinBoundary => "bin-boundary",
+        }
+    }
+
+    /// Inverse of [`Category::name`].
+    pub fn from_name(name: &str) -> Option<Category> {
+        [
+            Category::CleanHomology,
+            Category::IndelDense,
+            Category::Garbage,
+            Category::StripStraddle,
+            Category::EagerEdge,
+            Category::BinBoundary,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
+    }
+}
+
+/// One reproducible test case: a pair of code slices fed to every
+/// engine as a one-sided extension problem.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Corpus family.
+    pub category: Category,
+    /// Replay seed (fully determines the pair within the family).
+    pub seed: u64,
+    /// Target codes (columns).
+    pub target: Vec<u8>,
+    /// Query codes (rows).
+    pub query: Vec<u8>,
+    /// For planted families: the expected optimal extent, if the tails
+    /// are guaranteed not to extend it (None when data-dependent).
+    pub planted_extent: Option<usize>,
+}
+
+/// Applies `rate` substitutions to a copy of `src` (never produces the
+/// original base, so every hit is a real mismatch).
+fn substitute(src: &[u8], rate: f64, rng: &mut SmallRng) -> Vec<u8> {
+    let mut out = src.to_vec();
+    for b in out.iter_mut() {
+        if rng.gen_bool(rate) {
+            *b = (*b + 1 + rng.gen_range(0..3u8)) % 4;
+        }
+    }
+    out
+}
+
+/// Builds the case for `(category, seed)`.
+pub fn make_case(category: Category, seed: u64) -> Case {
+    // Decorrelate the stream from the raw seed so adjacent seeds do not
+    // share prefixes.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let (target, query, planted_extent) = match category {
+        Category::CleanHomology => {
+            let len = rng.gen_range(120..360);
+            let t = random_codes(len, 0.45, &mut rng);
+            let q = substitute(&t, 0.04, &mut rng);
+            (t, q, None)
+        }
+        Category::IndelDense => {
+            let len = rng.gen_range(100..300);
+            let t = random_codes(len, 0.5, &mut rng);
+            let mut q = substitute(&t, 0.05, &mut rng);
+            for _ in 0..rng.gen_range(3..9) {
+                let cut = rng.gen_range(0..q.len().saturating_sub(8).max(1));
+                let gap = rng.gen_range(1..5);
+                if rng.gen_bool(0.5) {
+                    q.splice(cut..(cut + gap).min(q.len()), []);
+                } else {
+                    let ins = random_codes(gap, 0.5, &mut rng);
+                    q.splice(cut..cut, ins);
+                }
+            }
+            (t, q, None)
+        }
+        Category::Garbage => {
+            let t = random_codes(rng.gen_range(80..240), 0.5, &mut rng);
+            let q = random_codes(rng.gen_range(80..240), 0.5, &mut rng);
+            (t, q, None)
+        }
+        Category::StripStraddle => {
+            // Perfect homology of length k·32 + {-1, 0, +1}, then
+            // hostile tails. The core uses only {C, G} (gc = 1.0) while
+            // the tails are all-A vs all-T, so no tail base can ever
+            // match anything: the optimum is provably the planted
+            // segment and its extent straddles a strip boundary.
+            let k = rng.gen_range(1..6usize);
+            let len = (k * 32)
+                .saturating_add_signed(rng.gen_range(-1..=1isize))
+                .max(2);
+            let core = random_codes(len, 1.0, &mut rng);
+            let mut t = core.clone();
+            let mut q = core;
+            t.extend(std::iter::repeat_n(0u8, 64)); // all-A tail
+            q.extend(std::iter::repeat_n(3u8, 64)); // all-T tail
+            (t, q, Some(len))
+        }
+        Category::EagerEdge => {
+            // Same disjoint-alphabet construction, extent 15 / 16 / 17.
+            let len = EAGER_BOUND.saturating_add_signed(rng.gen_range(-1..=1isize));
+            let core = random_codes(len, 1.0, &mut rng);
+            let mut t = core.clone();
+            let mut q = core;
+            t.extend(std::iter::repeat_n(0u8, 48));
+            q.extend(std::iter::repeat_n(3u8, 48));
+            (t, q, Some(len))
+        }
+        Category::BinBoundary => {
+            // seed encodes which boundary: bound index in the high bits,
+            // offset −1/0/+1 in the low two bits.
+            let idx = ((seed >> 2) as usize) % BIN_BOUNDS.len();
+            let off = (seed & 0b11) as isize - 1; // 0→−1, 1→0, 2→+1
+            let len = BIN_BOUNDS[idx].saturating_add_signed(off);
+            let t = random_codes(len, 0.5, &mut rng);
+            (t.clone(), t, Some(len))
+        }
+    };
+    Case {
+        category,
+        seed,
+        target,
+        query,
+        planted_extent,
+    }
+}
+
+/// The fixed bin-boundary sweep: every bound in [`BIN_BOUNDS`] at −1 /
+/// exact / +1 (the +1 of the last bound lands in `Overflow`).
+pub fn bin_boundary_cases(max_extent: usize) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for idx in 0..BIN_BOUNDS.len() {
+        for off in 0..3u64 {
+            let seed = ((idx as u64) << 2) | off;
+            let case = make_case(Category::BinBoundary, seed);
+            if case.planted_extent.unwrap_or(0) <= max_extent {
+                cases.push(case);
+            }
+        }
+    }
+    cases
+}
+
+/// The fuzz corpus: `pairs` cases cycling through [`Category::FUZZ`],
+/// each seeded from `master_seed` and its index.
+pub fn fuzz_corpus(master_seed: u64, pairs: usize) -> Vec<Case> {
+    (0..pairs)
+        .map(|i| {
+            let category = Category::FUZZ[i % Category::FUZZ.len()];
+            // SplitMix-style mix so every case seed is distinct and
+            // reproducible from (master_seed, i) alone.
+            let mut z =
+                master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            make_case(category, z ^ (z >> 31))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_reproducible() {
+        for cat in Category::FUZZ {
+            let a = make_case(cat, 123);
+            let b = make_case(cat, 123);
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.query, b.query);
+        }
+    }
+
+    #[test]
+    fn fuzz_corpus_covers_every_family() {
+        let corpus = fuzz_corpus(42, 10);
+        assert_eq!(corpus.len(), 10);
+        for cat in Category::FUZZ {
+            assert!(corpus.iter().any(|c| c.category == cat), "{cat:?} missing");
+        }
+    }
+
+    #[test]
+    fn bin_boundary_extents_straddle_every_bound() {
+        let cases = bin_boundary_cases(usize::MAX);
+        let extents: Vec<usize> = cases.iter().map(|c| c.planted_extent.unwrap()).collect();
+        for b in BIN_BOUNDS {
+            for e in [b - 1, b, b + 1] {
+                assert!(extents.contains(&e), "extent {e} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for cat in [
+            Category::CleanHomology,
+            Category::IndelDense,
+            Category::Garbage,
+            Category::StripStraddle,
+            Category::EagerEdge,
+            Category::BinBoundary,
+        ] {
+            assert_eq!(Category::from_name(cat.name()), Some(cat));
+        }
+    }
+}

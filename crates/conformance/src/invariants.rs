@@ -1,0 +1,645 @@
+//! The invariant checkers: each takes one case's engine outputs and
+//! returns every violation as a structured [`Divergence`].
+//!
+//! The invariants are the paper's correctness claims, stated engine
+//! against engine:
+//!
+//! * the scalar engines must agree with the dense oracle bit for bit;
+//! * conservative pruning explores a superset of exact pruning and
+//!   values every shared cell at least as high (§3.4);
+//! * the warp engine's LASTZ-order-safe threshold makes it a superset
+//!   of the exact engine too, and in practice it lands on the same
+//!   optimum as the scalar conservative engine;
+//! * the executor's trimmed recomputation reproduces the inspector's
+//!   optimum and its traceback rescores exactly (§3.1);
+//! * eager traceback fires iff the optimum fits the 16×16 window
+//!   (§3.1.2);
+//! * the work counters are self-consistent.
+
+use fastz_align::{DenseTrace, EditOp, OneSidedExtension};
+use fastz_core::{bin_allocation, classify, BinClass, EAGER_BOUND};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::WARP_SIZE;
+
+use crate::corpus::Case;
+use crate::engines::CaseRun;
+use crate::oracle::OracleRun;
+use crate::report::{CellDiff, Divergence, ABSENT};
+
+/// Replays an edit script against the raw code slices, returning
+/// `(target_consumed, query_consumed, score)` — the independent
+/// rescoring every traceback claim is checked against.
+pub fn rescore_ops(t: &[u8], q: &[u8], scoring: &Scoring, ops: &[EditOp]) -> (usize, usize, i32) {
+    let (mut ti, mut qi, mut score) = (0usize, 0usize, 0i32);
+    for op in ops {
+        match *op {
+            EditOp::Diag(k) => {
+                for _ in 0..k {
+                    score += scoring.subst.score(t[ti], q[qi]);
+                    ti += 1;
+                    qi += 1;
+                }
+            }
+            EditOp::GapQ(k) => {
+                score -= scoring.gaps.gap_cost(k as usize);
+                ti += k as usize;
+            }
+            EditOp::GapT(k) => {
+                score -= scoring.gaps.gap_cost(k as usize);
+                qi += k as usize;
+            }
+        }
+    }
+    (ti, qi, score)
+}
+
+fn diverge(
+    case: &Case,
+    invariant: &'static str,
+    engines: &'static str,
+    message: String,
+    cell: Option<CellDiff>,
+) -> Divergence {
+    Divergence {
+        category: case.category,
+        seed: case.seed,
+        invariant,
+        engines,
+        message,
+        first_divergent_cell: cell,
+    }
+}
+
+/// First cell (row-major) where the engine trace and the oracle
+/// disagree on liveness or S value.
+fn first_trace_oracle_diff(trace: &DenseTrace, oracle: &OracleRun) -> Option<CellDiff> {
+    let mut engine = trace.cells.iter();
+    let mut reference = oracle.live.iter();
+    let (mut e, mut o) = (engine.next(), reference.next());
+    loop {
+        match (e, o) {
+            (None, None) => return None,
+            (Some((&(i, j), c)), None) => {
+                return Some(CellDiff {
+                    i,
+                    j,
+                    lhs: c.s as i64,
+                    rhs: ABSENT,
+                })
+            }
+            (None, Some(&(i, j, c))) => {
+                return Some(CellDiff {
+                    i,
+                    j,
+                    lhs: ABSENT,
+                    rhs: c.s as i64,
+                })
+            }
+            (Some((&(ei, ej), ec)), Some(&(oi, oj, oc))) => {
+                if (ei, ej) == (oi, oj) {
+                    if ec.s != oc.s {
+                        return Some(CellDiff {
+                            i: ei,
+                            j: ej,
+                            lhs: ec.s as i64,
+                            rhs: oc.s as i64,
+                        });
+                    }
+                    e = engine.next();
+                    o = reference.next();
+                } else if (ei, ej) < (oi, oj) {
+                    return Some(CellDiff {
+                        i: ei,
+                        j: ej,
+                        lhs: ec.s as i64,
+                        rhs: ABSENT,
+                    });
+                } else {
+                    return Some(CellDiff {
+                        i: oi,
+                        j: oj,
+                        lhs: ABSENT,
+                        rhs: oc.s as i64,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// First cell live in `subset` that `superset` pruned or valued lower.
+/// `min_coord` skips rows and columns the superset engine does not
+/// model (the warp engine derives row 0 and column 0 analytically —
+/// the boundary gap chains live in its spill buffer — and never
+/// records either through its cell sink).
+fn first_superset_violation(
+    subset: &DenseTrace,
+    superset: &DenseTrace,
+    min_coord: usize,
+) -> Option<CellDiff> {
+    for (&(i, j), sub) in subset.cells.iter() {
+        if i < min_coord || j < min_coord {
+            continue;
+        }
+        match superset.cells.get(&(i, j)) {
+            None => {
+                return Some(CellDiff {
+                    i,
+                    j,
+                    lhs: sub.s as i64,
+                    rhs: ABSENT,
+                })
+            }
+            Some(sup) if sup.s < sub.s => {
+                return Some(CellDiff {
+                    i,
+                    j,
+                    lhs: sub.s as i64,
+                    rhs: sup.s as i64,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+/// Scalar engines against the dense oracle: identical optimum and
+/// identical live cells.
+fn check_oracle_agreement(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let mut checks = 0;
+    let pairs: [(
+        &'static str,
+        &OneSidedExtension,
+        &Option<DenseTrace>,
+        &Option<OracleRun>,
+    ); 2] = [
+        (
+            "scalar-exact vs oracle-exact",
+            &run.exact,
+            &run.exact_trace,
+            &run.oracle_exact,
+        ),
+        (
+            "scalar-conservative vs oracle-conservative",
+            &run.cons,
+            &run.cons_trace,
+            &run.oracle_cons,
+        ),
+    ];
+    for (engines, engine, trace, oracle) in pairs {
+        let (Some(trace), Some(oracle)) = (trace.as_ref(), oracle.as_ref()) else {
+            continue;
+        };
+        checks += 2;
+        let got = (engine.best_score, engine.best_i, engine.best_j);
+        let want = (oracle.best_score, oracle.best_i, oracle.best_j);
+        let cell_diff = first_trace_oracle_diff(trace, oracle);
+        if got != want {
+            out.push(diverge(
+                case,
+                "oracle-agreement",
+                engines,
+                format!("engine optimum {got:?} != oracle optimum {want:?}"),
+                cell_diff,
+            ));
+        } else if let Some(cell) = cell_diff {
+            out.push(diverge(
+                case,
+                "oracle-agreement",
+                engines,
+                format!(
+                    "optimum agrees but cell ({}, {}) differs: engine {} vs oracle {}",
+                    cell.i, cell.j, cell.lhs, cell.rhs
+                ),
+                Some(cell),
+            ));
+        }
+    }
+    checks
+}
+
+/// Conservative pruning is a superset of exact pruning, cell for cell.
+fn check_conservative_superset(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let engines = "scalar-exact vs scalar-conservative";
+    let mut checks = 2;
+    if run.cons.best_score < run.exact.best_score {
+        out.push(diverge(
+            case,
+            "conservative-superset",
+            engines,
+            format!(
+                "conservative score {} < exact score {}",
+                run.cons.best_score, run.exact.best_score
+            ),
+            None,
+        ));
+    }
+    if run.cons.stats.cells < run.exact.stats.cells {
+        out.push(diverge(
+            case,
+            "conservative-superset",
+            engines,
+            format!(
+                "conservative computed {} cells < exact {}",
+                run.cons.stats.cells, run.exact.stats.cells
+            ),
+            None,
+        ));
+    }
+    if let (Some(exact), Some(cons)) = (run.exact_trace.as_ref(), run.cons_trace.as_ref()) {
+        checks += 1;
+        if let Some(cell) = first_superset_violation(exact, cons, 0) {
+            out.push(diverge(
+                case,
+                "conservative-superset",
+                engines,
+                format!(
+                    "cell ({}, {}) live in exact (S = {}) but conservative has {}",
+                    cell.i,
+                    cell.j,
+                    cell.lhs,
+                    if cell.rhs == ABSENT {
+                        "pruned it".to_string()
+                    } else {
+                        format!("S = {}", cell.rhs)
+                    }
+                ),
+                Some(cell),
+            ));
+        }
+    }
+    checks
+}
+
+/// The warp engine's threshold is LASTZ-order safe, so it must also be
+/// a superset of the exact engine.
+fn check_warp_superset(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let engines = "scalar-exact vs warp";
+    let mut checks = 1;
+    if run.warp.best_score < run.exact.best_score {
+        out.push(diverge(
+            case,
+            "warp-superset",
+            engines,
+            format!(
+                "warp score {} < exact score {}",
+                run.warp.best_score, run.exact.best_score
+            ),
+            None,
+        ));
+    }
+    if let (Some(exact), Some(warp)) = (run.exact_trace.as_ref(), run.warp_trace.as_ref()) {
+        checks += 1;
+        // Row 0 and column 0 are analytic in the warp engine; compare
+        // cells with both coordinates >= 1.
+        if let Some(cell) = first_superset_violation(exact, warp, 1) {
+            out.push(diverge(
+                case,
+                "warp-superset",
+                engines,
+                format!(
+                    "cell ({}, {}) live in exact (S = {}) but warp has {}",
+                    cell.i,
+                    cell.j,
+                    cell.lhs,
+                    if cell.rhs == ABSENT {
+                        "pruned it".to_string()
+                    } else {
+                        format!("S = {}", cell.rhs)
+                    }
+                ),
+                Some(cell),
+            ));
+        }
+    }
+    checks
+}
+
+/// Warp and scalar-conservative land on the same optimum score, and
+/// each engine's best cell is an optimum in the other's cell map.
+fn check_warp_matches_conservative(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let engines = "warp vs scalar-conservative";
+    let mut checks = 1;
+    if run.warp.best_score != run.cons.best_score {
+        // Diagnose with the first cell where the engines' cell maps
+        // disagree, if traces exist.
+        let cell = match (run.warp_trace.as_ref(), run.cons_trace.as_ref()) {
+            (Some(w), Some(c)) => {
+                first_superset_violation(c, w, 1).or_else(|| first_superset_violation(w, c, 1))
+            }
+            _ => None,
+        };
+        out.push(diverge(
+            case,
+            "warp-matches-conservative",
+            engines,
+            format!(
+                "warp score {} != conservative score {}",
+                run.warp.best_score, run.cons.best_score
+            ),
+            cell,
+        ));
+    } else if run.warp.best_score > 0 {
+        // Scores agree; the best cells may legitimately differ only if
+        // both are optima under the other engine's values (tie-breaking
+        // order differs between row-major and strip-mined sweeps).
+        if let (Some(w), Some(c)) = (run.warp_trace.as_ref(), run.cons_trace.as_ref()) {
+            checks += 1;
+            let wb = (run.warp.best_i, run.warp.best_j);
+            let cb = (run.cons.best_i, run.cons.best_j);
+            let w_in_c = c.s(wb.0, wb.1) == Some(run.cons.best_score);
+            let c_in_w = w.s(cb.0, cb.1) == Some(run.warp.best_score);
+            if !w_in_c || !c_in_w {
+                let (i, j) = if !w_in_c { wb } else { cb };
+                out.push(diverge(
+                    case,
+                    "warp-matches-conservative",
+                    engines,
+                    format!(
+                        "best cells disagree beyond tie-breaking: warp {:?}, conservative {:?}",
+                        wb, cb
+                    ),
+                    Some(CellDiff {
+                        i,
+                        j,
+                        lhs: run.warp.best_score as i64,
+                        rhs: if !w_in_c {
+                            c.s(wb.0, wb.1).map_or(ABSENT, |v| v as i64)
+                        } else {
+                            w.s(cb.0, cb.1).map_or(ABSENT, |v| v as i64)
+                        },
+                    }),
+                ));
+            }
+        }
+    }
+    checks
+}
+
+/// The trimmed executor reproduces the inspector's optimum and its
+/// traceback rescores to exactly that score.
+fn check_executor(
+    case: &Case,
+    run: &CaseRun,
+    scoring: &Scoring,
+    out: &mut Vec<Divergence>,
+) -> usize {
+    let engines = "warp-inspector vs warp-executor";
+    let Some(exec) = run.exec.as_ref() else {
+        return 0;
+    };
+    let mut checks = 1;
+    let insp = &run.warp;
+    if (exec.best_score, exec.best_i, exec.best_j) != (insp.best_score, insp.best_i, insp.best_j) {
+        out.push(diverge(
+            case,
+            "executor-rescore",
+            engines,
+            format!(
+                "executor optimum ({}, {}, {}) != inspector optimum ({}, {}, {})",
+                exec.best_score,
+                exec.best_i,
+                exec.best_j,
+                insp.best_score,
+                insp.best_i,
+                insp.best_j
+            ),
+            None,
+        ));
+    }
+    checks += 1;
+    match exec.ops.as_ref() {
+        None => out.push(diverge(
+            case,
+            "executor-rescore",
+            engines,
+            "executor returned no traceback".to_string(),
+            None,
+        )),
+        Some(ops) => {
+            let (ti, qi, score) = rescore_ops(&case.target, &case.query, scoring, ops);
+            if (ti, qi, score) != (exec.best_j, exec.best_i, exec.best_score) {
+                out.push(diverge(
+                    case,
+                    "executor-rescore",
+                    engines,
+                    format!(
+                        "traceback rescored to (t = {ti}, q = {qi}, score = {score}), engine \
+                         reported (t = {}, q = {}, score = {})",
+                        exec.best_j, exec.best_i, exec.best_score
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+    checks
+}
+
+/// Eager traceback fires iff the optimum fits the shared-memory window,
+/// and its edit script rescores exactly.
+fn check_eager(case: &Case, run: &CaseRun, scoring: &Scoring, out: &mut Vec<Divergence>) -> usize {
+    let engines = "warp-inspector (eager window)";
+    let mut checks = 1;
+    let w = &run.warp;
+    let fits = w.best_i <= EAGER_BOUND && w.best_j <= EAGER_BOUND;
+    if w.eager_ops.is_some() != fits {
+        out.push(diverge(
+            case,
+            "eager-window",
+            engines,
+            format!(
+                "eager traceback {} but optimum ({}, {}) {} the {EAGER_BOUND}x{EAGER_BOUND} window",
+                if w.eager_ops.is_some() {
+                    "fired"
+                } else {
+                    "did not fire"
+                },
+                w.best_i,
+                w.best_j,
+                if fits { "fits" } else { "does not fit" }
+            ),
+            None,
+        ));
+    }
+    if let Some(ops) = w.eager_ops.as_ref() {
+        checks += 1;
+        let (ti, qi, score) = rescore_ops(&case.target, &case.query, scoring, ops);
+        if (ti, qi, score) != (w.best_j, w.best_i, w.best_score) {
+            out.push(diverge(
+                case,
+                "eager-window",
+                engines,
+                format!(
+                    "eager script rescored to (t = {ti}, q = {qi}, score = {score}), engine \
+                     reported (t = {}, q = {}, score = {})",
+                    w.best_j, w.best_i, w.best_score
+                ),
+                None,
+            ));
+        }
+    }
+    checks
+}
+
+/// Per-engine statistics and counters must be self-consistent.
+fn check_stats(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let m = case.query.len();
+    let n = case.target.len();
+    let mut checks = 0;
+
+    let scalar_engines: [(&'static str, &OneSidedExtension, Option<&DenseTrace>); 2] = [
+        (
+            "scalar-exact (ExtensionStats)",
+            &run.exact,
+            run.exact_trace.as_ref(),
+        ),
+        (
+            "scalar-conservative (ExtensionStats)",
+            &run.cons,
+            run.cons_trace.as_ref(),
+        ),
+    ];
+    for (engines, ext, trace) in scalar_engines {
+        checks += 1;
+        let s = &ext.stats;
+        let live = trace.map(|t| t.len() as u64).unwrap_or(0);
+        let bad = s.rows > m + 1
+            || s.max_cols > n + 1
+            || (s.cells as usize) < s.rows.min(m + 1)
+            || live > s.cells
+            || ext.best_i > m
+            || ext.best_j > n;
+        if bad {
+            out.push(diverge(
+                case,
+                "stats-consistency",
+                engines,
+                format!(
+                    "inconsistent stats: rows = {}, max_cols = {}, cells = {}, live cells = {}, \
+                     optimum = ({}, {}), matrix = {}x{}",
+                    s.rows, s.max_cols, s.cells, live, ext.best_i, ext.best_j, m, n
+                ),
+                None,
+            ));
+        }
+    }
+
+    checks += 1;
+    let c = &run.warp.counters;
+    let live = run.warp_trace.as_ref().map(|t| t.len() as u64).unwrap_or(0);
+    let bad = c.alu_ops != c.steps * 9 * WARP_SIZE as u64
+        || c.cells > c.steps * WARP_SIZE as u64
+        || c.shuffles < 3 * c.steps
+        || !c.shuffles.is_multiple_of(3)
+        || c.divergent_steps > c.steps
+        || live > c.cells
+        || run.warp.explored_rows > m
+        || run.warp.explored_cols > n
+        || run.warp.best_i > run.warp.explored_rows
+        || run.warp.best_j > run.warp.explored_cols;
+    if bad {
+        out.push(diverge(
+            case,
+            "stats-consistency",
+            "warp (WarpCounters)",
+            format!(
+                "inconsistent counters: steps = {}, cells = {}, alu_ops = {}, shuffles = {}, \
+                 divergent = {}, live cells = {}, explored = ({}, {}), optimum = ({}, {})",
+                c.steps,
+                c.cells,
+                c.alu_ops,
+                c.shuffles,
+                c.divergent_steps,
+                live,
+                run.warp.explored_rows,
+                run.warp.explored_cols,
+                run.warp.best_i,
+                run.warp.best_j
+            ),
+            None,
+        ));
+    }
+    checks
+}
+
+/// Planted-optimum families: the engines must find exactly the planted
+/// extent, and length classification must be consistent with it.
+fn check_planted(case: &Case, run: &CaseRun, out: &mut Vec<Divergence>) -> usize {
+    let Some(planted) = case.planted_extent else {
+        return 0;
+    };
+    let mut checks = 2;
+    let warp_extent = run.warp.best_i.max(run.warp.best_j);
+    let exact_extent = run.exact.best_i.max(run.exact.best_j);
+    if warp_extent != planted || exact_extent != planted {
+        out.push(diverge(
+            case,
+            "planted-extent",
+            "planted optimum vs engines",
+            format!(
+                "planted extent {planted}, exact engine found {exact_extent}, warp found \
+                 {warp_extent}"
+            ),
+            None,
+        ));
+        return checks;
+    }
+
+    // Independent re-derivation of the expected class (deliberately not
+    // reusing `classify`'s loop).
+    let expected = if planted <= 16 {
+        BinClass::Eager
+    } else if planted <= 512 {
+        BinClass::Bin(0)
+    } else if planted <= 2048 {
+        BinClass::Bin(1)
+    } else if planted <= 8192 {
+        BinClass::Bin(2)
+    } else if planted <= 32768 {
+        BinClass::Bin(3)
+    } else {
+        BinClass::Overflow
+    };
+    checks += 2;
+    let got = classify(warp_extent);
+    if got != expected {
+        out.push(diverge(
+            case,
+            "planted-extent",
+            "binning::classify",
+            format!("extent {warp_extent} classified {got:?}, expected {expected:?}"),
+            None,
+        ));
+    }
+    if bin_allocation(got) < planted {
+        out.push(diverge(
+            case,
+            "planted-extent",
+            "binning::bin_allocation",
+            format!(
+                "allocation {} cannot hold extent {planted}",
+                bin_allocation(got)
+            ),
+            None,
+        ));
+    }
+    checks
+}
+
+/// Runs every checker on one case; returns `(checks_evaluated,
+/// divergences)`.
+pub fn check_case(case: &Case, run: &CaseRun, scoring: &Scoring) -> (usize, Vec<Divergence>) {
+    let mut out = Vec::new();
+    let mut checks = 0;
+    checks += check_oracle_agreement(case, run, &mut out);
+    checks += check_conservative_superset(case, run, &mut out);
+    checks += check_warp_superset(case, run, &mut out);
+    checks += check_warp_matches_conservative(case, run, &mut out);
+    checks += check_executor(case, run, scoring, &mut out);
+    checks += check_eager(case, run, scoring, &mut out);
+    checks += check_stats(case, run, &mut out);
+    checks += check_planted(case, run, &mut out);
+    (checks, out)
+}

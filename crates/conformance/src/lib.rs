@@ -1,0 +1,120 @@
+//! # fastz-conformance
+//!
+//! Differential conformance oracle for the FastZ engines.
+//!
+//! The same seed-extension workload is run through four engines — the
+//! scalar exact y-drop engine, the scalar conservative engine, the
+//! warp engine, and the full pipeline — on seeded reproducible corpora,
+//! and the paper's invariants are checked cell for cell against a dense
+//! reference DP ([`oracle`]). Violations come back as structured
+//! [`report::Divergence`] records (engine pair, first divergent cell,
+//! replay seed) that the `conformance` CLI serializes as JSON.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engines;
+pub mod invariants;
+pub mod oracle;
+pub mod pipeline;
+pub mod report;
+
+pub use corpus::{bin_boundary_cases, fuzz_corpus, make_case, Case, Category};
+pub use engines::{run_case, CaseRun};
+pub use invariants::{check_case, rescore_ops};
+pub use oracle::{oracle_extend, OracleRun};
+pub use report::{CellDiff, Divergence, SuiteReport};
+
+use fastz_genome::{GapPenalties, Scoring, SubstMatrix};
+
+/// The scoring scheme the suite runs under (match/mismatch 10/−15,
+/// gaps 30 + 5k, y-drop 120 — the workspace's standard test scoring).
+pub fn suite_scoring() -> Scoring {
+    Scoring {
+        subst: SubstMatrix::match_mismatch(10, -15),
+        gaps: GapPenalties::new(30, 5),
+        ydrop: 120,
+        xdrop: 40,
+        hsp_threshold: 50,
+        gapped_threshold: 50,
+    }
+}
+
+/// Suite configuration.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Fuzz pairs to generate.
+    pub pairs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Largest bin-boundary extent to include (the 32769-extent case
+    /// runs millions of DP cells; CI may cap this).
+    pub max_extent: usize,
+    /// Number of full-pipeline workloads to run.
+    pub pipeline_workloads: usize,
+    /// Optional scoring perturbation applied to the warp engine only
+    /// (the CLI's `--corrupt` switch): added to the match score.
+    pub corrupt_warp_match: i32,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            pairs: 500,
+            seed: 42,
+            max_extent: usize::MAX,
+            pipeline_workloads: 2,
+            corrupt_warp_match: 0,
+        }
+    }
+}
+
+/// Runs the whole suite: fuzz corpus + fixed bin-boundary sweep +
+/// pipeline workloads.
+pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
+    let scoring = suite_scoring();
+    let warp_scoring = if config.corrupt_warp_match != 0 {
+        Scoring {
+            subst: SubstMatrix::match_mismatch(10 + config.corrupt_warp_match, -15),
+            ..scoring.clone()
+        }
+    } else {
+        scoring.clone()
+    };
+
+    let mut report = SuiteReport {
+        pairs: config.pairs,
+        seed: config.seed,
+        ..SuiteReport::default()
+    };
+
+    let mut cases = fuzz_corpus(config.seed, config.pairs);
+    cases.extend(bin_boundary_cases(config.max_extent));
+    for case in &cases {
+        let run = run_case(case, &scoring, &warp_scoring);
+        let (checks, divergences) = check_case(case, &run, &scoring);
+        report.cases += 1;
+        report.checks += checks;
+        report.divergences.extend(divergences);
+    }
+
+    for k in 0..config.pipeline_workloads {
+        let (checks, divergences) =
+            pipeline::check_pipeline(config.seed.wrapping_add(k as u64), &scoring);
+        report.cases += 1;
+        report.checks += checks;
+        report.divergences.extend(divergences);
+    }
+
+    report
+}
+
+/// Replays a single case (the CLI's `--replay category:seed`),
+/// returning the case and its divergences.
+pub fn replay(category: Category, seed: u64) -> (Case, usize, Vec<Divergence>) {
+    let scoring = suite_scoring();
+    let case = make_case(category, seed);
+    let run = run_case(&case, &scoring, &scoring);
+    let (checks, divergences) = check_case(&case, &run, &scoring);
+    (case, checks, divergences)
+}

@@ -1,0 +1,207 @@
+//! Dense full-matrix reference implementation of y-drop extension.
+//!
+//! The production engines (`fastz_align::ydrop`, the warp engine) carry
+//! interval tracking, scratch reuse, strip mining, spill buffers and
+//! register rotation — all performance machinery that can hide bugs.
+//! This oracle is the same DP written the boring way: a dense
+//! `(m+1)×(n+1)` sweep with the Gotoh recurrences of paper Fig. 1 and
+//! the same two pruning rules, storing every cell. It exists to be
+//! obviously correct, so the optimized engines can be checked against
+//! it cell for cell.
+//!
+//! Equivalence argument (why dense == interval): a cell the interval
+//! engine never computes has all-dead inputs here, and a dead input is
+//! the same `NEG_INF` sentinel the engine substitutes at its interval
+//! edges, so the dense sweep marks exactly the same cells dead and
+//! stores exactly the same values for the live ones. The suite verifies
+//! this on every corpus case rather than trusting the argument.
+
+use fastz_align::ydrop::NEG_INF;
+use fastz_align::{CellScores, PruneMode};
+use fastz_genome::Scoring;
+
+/// Result of one dense oracle run.
+#[derive(Clone, Debug)]
+pub struct OracleRun {
+    /// Best score found (the origin scores 0).
+    pub best_score: i32,
+    /// Query bases consumed at the best cell.
+    pub best_i: usize,
+    /// Target bases consumed at the best cell.
+    pub best_j: usize,
+    /// Live cells in row-major order: `(i, j, scores)`.
+    pub live: Vec<(usize, usize, CellScores)>,
+    /// Rows actually swept (the sweep stops after the first all-dead
+    /// row, like the engines).
+    pub rows: usize,
+}
+
+impl OracleRun {
+    /// The S value at `(i, j)` if the cell is live.
+    pub fn s(&self, i: usize, j: usize) -> Option<i32> {
+        self.live
+            .iter()
+            .find(|&&(li, lj, _)| li == i && lj == j)
+            .map(|&(_, _, c)| c.s)
+    }
+}
+
+/// Runs the dense reference DP. Intended for bounded inputs (the suite
+/// caps `m·n`); memory is one dense row triple, but `live` holds every
+/// unpruned cell.
+pub fn oracle_extend(target: &[u8], query: &[u8], scoring: &Scoring, mode: PruneMode) -> OracleRun {
+    let so_se = scoring.gaps.open_score();
+    let se = scoring.gaps.extend_score();
+    let ydrop = scoring.ydrop;
+    let n = target.len();
+    let m = query.len();
+
+    let mut best_score = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+    let mut live: Vec<(usize, usize, CellScores)> = Vec::new();
+
+    // Row 0: the origin plus the I gap chain, live while within y-drop
+    // of the origin's score.
+    let mut s_prev = vec![NEG_INF; n + 1];
+    let mut d_prev = vec![NEG_INF; n + 1];
+    for (j, slot) in s_prev.iter_mut().enumerate() {
+        let (s, i_chain) = if j == 0 {
+            (0, NEG_INF)
+        } else {
+            let v = so_se + se * (j as i32 - 1);
+            (v, v)
+        };
+        if j == 0 || s >= -ydrop {
+            *slot = s;
+            live.push((
+                0,
+                j,
+                CellScores {
+                    s,
+                    i: i_chain,
+                    d: NEG_INF,
+                },
+            ));
+        } else {
+            break; // the chain only decays further
+        }
+    }
+
+    let mut rows = 1usize;
+    for i in 1..=m {
+        let row_start_best = best_score;
+        let mut running_best = best_score;
+        let mut s_row = vec![NEG_INF; n + 1];
+        let mut d_row = vec![NEG_INF; n + 1];
+        let mut any_live = false;
+        let mut s_left = NEG_INF;
+        let mut i_left = NEG_INF;
+        for j in 0..=n {
+            let i_val = (s_left + so_se).max(i_left + se);
+            let d_val = (s_prev[j] + so_se).max(d_prev[j] + se);
+            let diag_val = if j >= 1 {
+                s_prev[j - 1] + scoring.subst.score(target[j - 1], query[i - 1])
+            } else {
+                NEG_INF
+            };
+            let s_val = diag_val.max(i_val).max(d_val);
+
+            let threshold = match mode {
+                PruneMode::Exact => running_best - ydrop,
+                PruneMode::Conservative => row_start_best - ydrop,
+            };
+            let dead = s_val < threshold && i_val < threshold && d_val < threshold;
+            if dead {
+                s_left = NEG_INF;
+                i_left = NEG_INF;
+                continue; // row buffers already hold NEG_INF
+            }
+            any_live = true;
+            // Same NEG_INF floor clamp as the engines.
+            let (s_c, i_c, d_c) = (s_val, i_val.max(NEG_INF), d_val.max(NEG_INF));
+            s_row[j] = s_c;
+            d_row[j] = d_c;
+            live.push((
+                i,
+                j,
+                CellScores {
+                    s: s_c,
+                    i: i_c,
+                    d: d_c,
+                },
+            ));
+            if s_c > best_score {
+                best_score = s_c;
+                best_i = i;
+                best_j = j;
+            }
+            if s_c > running_best {
+                running_best = s_c;
+            }
+            s_left = s_c;
+            i_left = i_c;
+        }
+        if !any_live {
+            break;
+        }
+        rows = i + 1;
+        s_prev = s_row;
+        d_prev = d_row;
+    }
+
+    OracleRun {
+        best_score,
+        best_i,
+        best_j,
+        live,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastz_genome::{GapPenalties, Sequence, SubstMatrix};
+
+    fn scoring() -> Scoring {
+        Scoring {
+            subst: SubstMatrix::match_mismatch(10, -15),
+            gaps: GapPenalties::new(30, 5),
+            ydrop: 120,
+            xdrop: 40,
+            hsp_threshold: 50,
+            gapped_threshold: 50,
+        }
+    }
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        Sequence::from_ascii("x", s).unwrap().codes().to_vec()
+    }
+
+    #[test]
+    fn perfect_match_scores_full_length() {
+        let t = codes(b"ACGTACGTAC");
+        let r = oracle_extend(&t, &t, &scoring(), PruneMode::Exact);
+        assert_eq!(r.best_score, 100);
+        assert_eq!((r.best_i, r.best_j), (10, 10));
+    }
+
+    #[test]
+    fn gap_is_bridged_like_the_engine() {
+        let t = codes(b"ACGTACTTACGTAC");
+        let q = codes(b"ACGTACACGTAC");
+        let r = oracle_extend(&t, &q, &scoring(), PruneMode::Exact);
+        assert_eq!(r.best_score, 80); // 12 matches − (30 + 2·5)
+        assert_eq!((r.best_i, r.best_j), (12, 14));
+    }
+
+    #[test]
+    fn conservative_is_a_superset_of_exact() {
+        let t = codes(b"ACGTACGTTTACGGACGTACCGTAACGT");
+        let q = codes(b"ACGTACGTAAACGGACGTACGGTAACGA");
+        let e = oracle_extend(&t, &q, &scoring(), PruneMode::Exact);
+        let c = oracle_extend(&t, &q, &scoring(), PruneMode::Conservative);
+        assert!(c.live.len() >= e.live.len());
+        assert!(c.best_score >= e.best_score);
+    }
+}

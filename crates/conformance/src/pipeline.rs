@@ -1,0 +1,140 @@
+//! Full-pipeline conformance: runs `run_fastz` on small synthetic
+//! workloads and checks the report's internal accounting plus every
+//! emitted alignment against an independent rescoring.
+
+use fastz_core::{run_fastz, FastZConfig, OptFlags};
+use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::DeviceSpec;
+use fastz_seed::{Workload, WorkloadParams};
+
+use crate::corpus::Category;
+use crate::report::Divergence;
+
+fn diverge(seed: u64, invariant: &'static str, message: String) -> Divergence {
+    Divergence {
+        category: Category::CleanHomology,
+        seed,
+        invariant,
+        engines: "pipeline (run_fastz)",
+        message,
+        first_divergent_cell: None,
+    }
+}
+
+/// Runs one pipeline workload seeded by `seed`; returns
+/// `(checks_evaluated, divergences)`.
+pub fn check_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) {
+    // A scaled-down demo pair: big enough to fill several bins, small
+    // enough that the suite's pipeline stage stays fast in debug builds.
+    let pair = generate_pair(&PairParams {
+        label: "conformance".to_string(),
+        target_len: 30_000,
+        query_len: 30_000,
+        segments: 60,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 400,
+            ..WorkloadParams::default()
+        },
+    );
+    let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+    cfg.flags = OptFlags::fastz();
+    cfg.sim_threads = 1;
+    let report = run_fastz(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &cfg,
+    );
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+
+    // Accounting: every seed spawns two one-sided problems, and every
+    // problem is resolved either eagerly or by the executor.
+    checks += 1;
+    let s = &report.stats;
+    if s.problems != 2 * s.seeds {
+        out.push(diverge(
+            seed,
+            "pipeline-accounting",
+            format!(
+                "{} problems for {} seeds (expected 2 per seed)",
+                s.problems, s.seeds
+            ),
+        ));
+    }
+    checks += 1;
+    if s.eager_resolved + s.executor_problems != s.problems {
+        out.push(diverge(
+            seed,
+            "pipeline-accounting",
+            format!(
+                "eager ({}) + executor ({}) != problems ({})",
+                s.eager_resolved, s.executor_problems, s.problems
+            ),
+        ));
+    }
+    checks += 1;
+    // The Table 2 classification is per seed (one extent per anchor,
+    // the max over its two one-sided problems), not per problem.
+    if report.bin_counts.total() != s.seeds {
+        out.push(diverge(
+            seed,
+            "pipeline-accounting",
+            format!(
+                "bin counts total {} != seeds {}",
+                report.bin_counts.total(),
+                s.seeds
+            ),
+        ));
+    }
+
+    // Every alignment must be geometrically consistent and rescore to
+    // its reported score.
+    checks += 1;
+    for aln in &report.alignments {
+        if !aln.is_consistent(&pair.target, &pair.query) {
+            out.push(diverge(
+                seed,
+                "pipeline-alignment",
+                format!(
+                    "inconsistent alignment at t = {}, q = {}",
+                    aln.target_start, aln.query_start
+                ),
+            ));
+            continue;
+        }
+        let rescored = aln.rescore(&pair.target, &pair.query, scoring);
+        if rescored != aln.score {
+            out.push(diverge(
+                seed,
+                "pipeline-alignment",
+                format!(
+                    "alignment at t = {}, q = {} reports score {} but rescores to {}",
+                    aln.target_start, aln.query_start, aln.score, rescored
+                ),
+            ));
+        }
+        if aln.score < scoring.gapped_threshold {
+            out.push(diverge(
+                seed,
+                "pipeline-alignment",
+                format!(
+                    "alignment at t = {}, q = {} scores {} below the gapped threshold {}",
+                    aln.target_start, aln.query_start, aln.score, scoring.gapped_threshold
+                ),
+            ));
+        }
+    }
+
+    (checks, out)
+}

@@ -18,8 +18,8 @@ pub mod pipeline;
 pub mod warp_engine;
 
 pub use ablation::OptFlags;
-pub use binning::{classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
+pub use binning::{bin_allocation, classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
 pub use multi_gpu::{partition_anchors, run_fastz_multi_gpu, MultiGpuReport, Partition};
 pub use pipeline::{run_fastz, FastZConfig, FastZReport, FastZStats};
-pub use warp_engine::{warp_extend, WarpConfig, WarpExtension};
+pub use warp_engine::{warp_extend, warp_extend_traced, WarpConfig, WarpExtension};

@@ -71,8 +71,7 @@ pub fn partition_anchors(anchors: &[Anchor], n: usize, policy: Partition) -> Vec
     match policy {
         Partition::Block => {
             let chunk = anchors.len().div_ceil(n).max(1);
-            let mut parts: Vec<Vec<Anchor>> =
-                anchors.chunks(chunk).map(|c| c.to_vec()).collect();
+            let mut parts: Vec<Vec<Anchor>> = anchors.chunks(chunk).map(|c| c.to_vec()).collect();
             parts.resize(n, Vec::new());
             parts
         }
@@ -160,10 +159,7 @@ mod tests {
     fn cfg() -> FastZConfig {
         FastZConfig {
             flags: OptFlags::fastz(),
-            ..FastZConfig::new(
-                Scoring::bench_scaled(),
-                DeviceSpec::rtx3080_ampere(),
-            )
+            ..FastZConfig::new(Scoring::bench_scaled(), DeviceSpec::rtx3080_ampere())
         }
     }
 
@@ -225,7 +221,10 @@ mod tests {
         // device component.
         let one_dev = one.modeled_time_s - HOST_SCATTER_GATHER_S;
         let four_dev = four.modeled_time_s - 4.0 * HOST_SCATTER_GATHER_S;
-        assert!(four_dev <= one_dev, "4 GPUs slower: {four_dev} vs {one_dev}");
+        assert!(
+            four_dev <= one_dev,
+            "4 GPUs slower: {four_dev} vs {one_dev}"
+        );
         assert!(four.efficiency(one_dev) <= 1.05);
     }
 
@@ -235,12 +234,9 @@ mod tests {
         // block partitioning puts it all on device 0; striding spreads it.
         let (t, q, anchors, span) = demo();
         let devices = vec![DeviceSpec::rtx3080_ampere(); 4];
-        let block = run_fastz_multi_gpu(
-            &t, &q, &anchors, span, &cfg(), &devices, Partition::Block,
-        );
-        let strided = run_fastz_multi_gpu(
-            &t, &q, &anchors, span, &cfg(), &devices, Partition::Strided,
-        );
+        let block = run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &devices, Partition::Block);
+        let strided =
+            run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &devices, Partition::Strided);
         assert!(strided.modeled_time_s <= block.modeled_time_s * 1.25);
         assert_eq!(block.alignments, strided.alignments);
     }
@@ -248,13 +244,9 @@ mod tests {
     #[test]
     fn heterogeneous_devices_straggle_on_the_slowest() {
         let (t, q, anchors, span) = demo();
-        let devices = vec![
-            DeviceSpec::rtx3080_ampere(),
-            DeviceSpec::titan_x_pascal(),
-        ];
-        let multi = run_fastz_multi_gpu(
-            &t, &q, &anchors, span, &cfg(), &devices, Partition::Strided,
-        );
+        let devices = vec![DeviceSpec::rtx3080_ampere(), DeviceSpec::titan_x_pascal()];
+        let multi =
+            run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &devices, Partition::Strided);
         // The straggler index reflects the slowest per-device time (which
         // partition holds the longest problem varies with the stride).
         let argmax = multi

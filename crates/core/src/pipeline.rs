@@ -182,9 +182,9 @@ fn side_slices<'a>(
     seed_span: usize,
     left: bool,
     max_extension: usize,
-    rev_t: &'a mut Vec<u8>,
-    rev_q: &'a mut Vec<u8>,
+    rev: &'a mut (Vec<u8>, Vec<u8>),
 ) -> (&'a [u8], &'a [u8]) {
+    let (rev_t, rev_q) = rev;
     let tc = target.codes();
     let qc = query.codes();
     let t0 = anchor.target_pos as usize;
@@ -219,11 +219,11 @@ where
         .filter(|(a, b)| a < b)
         .collect();
     let work = &work;
-    let mut out: Vec<Vec<SideResult>> = crossbeam::thread::scope(|scope| {
+    let mut out: Vec<Vec<SideResult>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(lo, hi)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut shared = SharedMem::new(96 * 1024);
                     (lo..hi)
                         .map(|idx| {
@@ -235,8 +235,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("simulation scope failed");
+    });
     let mut flat = Vec::with_capacity(n_problems);
     for part in out.drain(..) {
         flat.extend(part);
@@ -262,7 +261,7 @@ pub fn run_fastz(
     let inspector_results = run_phase(n_problems, threads, |idx, shared| {
         let anchor = anchors[idx / 2];
         let left = idx % 2 == 0;
-        let (mut rev_t, mut rev_q) = (Vec::new(), Vec::new());
+        let mut rev = (Vec::new(), Vec::new());
         let (t, q) = side_slices(
             target,
             query,
@@ -270,8 +269,7 @@ pub fn run_fastz(
             seed_span,
             left,
             cfg.max_extension,
-            &mut rev_t,
-            &mut rev_q,
+            &mut rev,
         );
         let ext = warp_extend(t, q, &cfg.scoring, &insp_cfg, shared);
         side_result(ext)
@@ -336,7 +334,7 @@ pub fn run_fastz(
             let anchor = anchors[idx / 2];
             let left = idx % 2 == 0;
             let insp = &inspector_results[idx];
-            let (mut rev_t, mut rev_q) = (Vec::new(), Vec::new());
+            let mut rev = (Vec::new(), Vec::new());
             let (t, q) = side_slices(
                 target,
                 query,
@@ -344,8 +342,7 @@ pub fn run_fastz(
                 seed_span,
                 left,
                 cfg.max_extension,
-                &mut rev_t,
-                &mut rev_q,
+                &mut rev,
             );
             let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
             if !flags.executor_trimming {
@@ -450,10 +447,9 @@ pub fn run_fastz(
     // footprint reduction "enables more parallelism").
     let max_match = cfg.scoring.subst.max_score().max(1);
     let banded_rows = 32
-        + ((cfg.scoring.ydrop + 32 * max_match).max(0) / cfg.scoring.gaps.extend.max(1))
-            as usize;
-    let inspector_alloc_bytes = (!flags.cyclic_buffers)
-        .then(|| (banded_rows * cfg.max_extension * 12) as u64);
+        + ((cfg.scoring.ydrop + 32 * max_match).max(0) / cfg.scoring.gaps.extend.max(1)) as usize;
+    let inspector_alloc_bytes =
+        (!flags.cyclic_buffers).then(|| (banded_rows * cfg.max_extension * 12) as u64);
     let executor_alloc_bytes = (!flags.executor_trimming).then(|| {
         let per_cell = 1 + if flags.cyclic_buffers { 0 } else { 12 };
         (banded_rows * cfg.max_extension * per_cell) as u64
@@ -530,10 +526,7 @@ mod tests {
     }
 
     fn config() -> FastZConfig {
-        FastZConfig::new(
-            Scoring::bench_scaled(),
-            DeviceSpec::rtx3080_ampere(),
-        )
+        FastZConfig::new(Scoring::bench_scaled(), DeviceSpec::rtx3080_ampere())
     }
 
     #[test]
@@ -632,10 +625,7 @@ mod tests {
         let (t, q, anchors, span) = demo(104);
         let mut reference: Option<Vec<Alignment>> = None;
         for (label, flags) in OptFlags::figure9_progression() {
-            let cfg = FastZConfig {
-                flags,
-                ..config()
-            };
+            let cfg = FastZConfig { flags, ..config() };
             let report = run_fastz(&t, &q, &anchors, span, &cfg);
             match &reference {
                 None => reference = Some(report.alignments),
@@ -650,17 +640,7 @@ mod tests {
         // stream must increase it (Figure 9).
         let (t, q, anchors, span) = demo(105);
         let time_of = |flags: OptFlags| {
-            run_fastz(
-                &t,
-                &q,
-                &anchors,
-                span,
-                &FastZConfig {
-                    flags,
-                    ..config()
-                },
-            )
-            .modeled_time_s
+            run_fastz(&t, &q, &anchors, span, &FastZConfig { flags, ..config() }).modeled_time_s
         };
         // At unit-test scale some steps are launch-overhead-dominated and
         // may tie; the strict staircase is asserted at benchmark scale by

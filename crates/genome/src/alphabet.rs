@@ -75,8 +75,9 @@ impl Base {
             b'G' => Some(Base::G),
             b'T' | b'U' => Some(Base::T),
             // IUPAC ambiguity codes degrade to N.
-            b'N' | b'R' | b'Y' | b'S' | b'W' | b'K' | b'M' | b'B' | b'D' | b'H' | b'V'
-            | b'X' => Some(Base::N),
+            b'N' | b'R' | b'Y' | b'S' | b'W' | b'K' | b'M' | b'B' | b'D' | b'H' | b'V' | b'X' => {
+                Some(Base::N)
+            }
             _ => None,
         }
     }

@@ -115,7 +115,11 @@ impl CatalogPair {
             query_len,
             segments: (target_len / Self::SEGMENT_SPACING).max(8),
             classes: self.classes(),
-            gc: if self.genus == Genus::Nematode { 0.36 } else { 0.42 },
+            gc: if self.genus == Genus::Nematode {
+                0.36
+            } else {
+                0.42
+            },
             rng_seed: self.rng_seed,
         }
     }
@@ -132,7 +136,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "C. briggsae chr5",
             target_bp: 20_924_180,
             query_bp: 19_495_157,
-            tuning: MixtureTuning { medium: 1.6, large: 0.80, huge: 0.80, huge_range: None },
+            tuning: MixtureTuning {
+                medium: 1.6,
+                large: 0.80,
+                huge: 0.80,
+                huge_range: None,
+            },
             rng_seed: 0xC155 + 7919, // draw: 3 huge segments, 56 kbp (Table 2's largest bin-4 tail)
         },
         CatalogPair {
@@ -142,7 +151,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "C. briggsae chr2",
             target_bp: 15_279_421,
             query_bp: 16_627_154,
-            tuning: MixtureTuning { medium: 1.8, large: 0.75, huge: 0.65, huge_range: None },
+            tuning: MixtureTuning {
+                medium: 1.8,
+                large: 0.75,
+                huge: 0.65,
+                huge_range: None,
+            },
             rng_seed: 0xC122,
         },
         CatalogPair {
@@ -152,7 +166,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "C. briggsae chr1",
             target_bp: 15_072_434,
             query_bp: 15_455_979,
-            tuning: MixtureTuning { medium: 2.2, large: 0.70, huge: 0.55, huge_range: None },
+            tuning: MixtureTuning {
+                medium: 2.2,
+                large: 0.70,
+                huge: 0.55,
+                huge_range: None,
+            },
             rng_seed: 0xC111 + 6 * 7919, // draw: 2 huge segments, 39 kbp
         },
         CatalogPair {
@@ -162,7 +181,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "C. briggsae chr3",
             target_bp: 13_783_801,
             query_bp: 14_578_851,
-            tuning: MixtureTuning { medium: 2.5, large: 0.65, huge: 0.45, huge_range: None },
+            tuning: MixtureTuning {
+                medium: 2.5,
+                large: 0.65,
+                huge: 0.45,
+                huge_range: None,
+            },
             rng_seed: 0xC133,
         },
         CatalogPair {
@@ -172,7 +196,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "C. briggsae chr4",
             target_bp: 17_493_829,
             query_bp: 17_485_439,
-            tuning: MixtureTuning { medium: 1.4, large: 0.45, huge: 0.15, huge_range: Some((9_000, 12_500)) },
+            tuning: MixtureTuning {
+                medium: 1.4,
+                large: 0.45,
+                huge: 0.15,
+                huge_range: Some((9_000, 12_500)),
+            },
             rng_seed: 0xC144,
         },
         CatalogPair {
@@ -182,7 +211,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "A. atroparvus chrX",
             target_bp: 12_318_379,
             query_bp: 17_503_697,
-            tuning: MixtureTuning { medium: 0.55, large: 0.26, huge: 0.17, huge_range: Some((9_000, 12_500)) },
+            tuning: MixtureTuning {
+                medium: 0.55,
+                large: 0.26,
+                huge: 0.17,
+                huge_range: Some((9_000, 12_500)),
+            },
             rng_seed: 0xA1 + 2 * 7919, // draw: 1 huge segment, 16 kbp
         },
         CatalogPair {
@@ -192,7 +226,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "A. gambiae chrX",
             target_bp: 12_318_379,
             query_bp: 24_393_108,
-            tuning: MixtureTuning { medium: 0.70, large: 0.22, huge: 0.15, huge_range: Some((9_000, 12_500)) },
+            tuning: MixtureTuning {
+                medium: 0.70,
+                large: 0.22,
+                huge: 0.15,
+                huge_range: Some((9_000, 12_500)),
+            },
             rng_seed: 0xA2 + 3 * 7919, // draw: 1 huge segment, 20 kbp
         },
         CatalogPair {
@@ -202,7 +241,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "A. gambiae chrX",
             target_bp: 17_503_697,
             query_bp: 24_393_108,
-            tuning: MixtureTuning { medium: 0.95, large: 0.30, huge: 0.09, huge_range: Some((9_000, 12_500)) },
+            tuning: MixtureTuning {
+                medium: 0.95,
+                large: 0.30,
+                huge: 0.09,
+                huge_range: Some((9_000, 12_500)),
+            },
             rng_seed: 0xA3 + 2 * 7919, // draw: 1 huge segment, 18 kbp
         },
         CatalogPair {
@@ -212,7 +256,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
             query_desc: "D. pseudoobscura chr2",
             target_bp: 25_286_936,
             query_bp: 30_794_189,
-            tuning: MixtureTuning { medium: 0.035, large: 0.003, huge: 0.0, huge_range: None },
+            tuning: MixtureTuning {
+                medium: 0.035,
+                large: 0.003,
+                huge: 0.0,
+                huge_range: None,
+            },
             rng_seed: 0xD1,
         },
     ]
@@ -221,7 +270,12 @@ pub fn within_genus_pairs() -> Vec<CatalogPair> {
 /// The six cross-genus benchmark pairs (Figure 10, §5.4). Dissimilar
 /// genomes: no alignments in the two largest size bins.
 pub fn cross_genus_pairs() -> Vec<CatalogPair> {
-    let tuning = MixtureTuning { medium: 0.10, large: 0.0, huge: 0.0, huge_range: None };
+    let tuning = MixtureTuning {
+        medium: 0.10,
+        large: 0.0,
+        huge: 0.0,
+        huge_range: None,
+    };
     vec![
         CatalogPair {
             label: "CD_1,2R",

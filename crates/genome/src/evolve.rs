@@ -440,13 +440,12 @@ mod tests {
         };
         let mutated = mutate(&anc, &rates, 0.5, &mut rng);
         assert_eq!(mutated.len(), anc.len());
-        let diffs = anc
-            .iter()
-            .zip(&mutated)
-            .filter(|(a, b)| a != b)
-            .count() as f64;
+        let diffs = anc.iter().zip(&mutated).filter(|(a, b)| a != b).count() as f64;
         let rate = diffs / anc.len() as f64;
-        assert!((rate - 0.10).abs() < 0.01, "observed substitution rate {rate}");
+        assert!(
+            (rate - 0.10).abs() < 0.01,
+            "observed substitution rate {rate}"
+        );
     }
 
     #[test]
@@ -496,8 +495,14 @@ mod tests {
         let pair = generate_pair(&params);
         let t = pair.target.len() as f64;
         let q = pair.query.len() as f64;
-        assert!((t / params.target_len as f64 - 1.0).abs() < 0.25, "target {t}");
-        assert!((q / params.query_len as f64 - 1.0).abs() < 0.25, "query {q}");
+        assert!(
+            (t / params.target_len as f64 - 1.0).abs() < 0.25,
+            "target {t}"
+        );
+        assert!(
+            (q / params.query_len as f64 - 1.0).abs() < 0.25,
+            "query {q}"
+        );
     }
 
     #[test]

@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn empty_name_is_error() {
-        assert!(matches!(parse(">\nACGT\n"), Err(FastaError::EmptyName { line: 1 })));
+        assert!(matches!(
+            parse(">\nACGT\n"),
+            Err(FastaError::EmptyName { line: 1 })
+        ));
         assert!(matches!(
             parse(">   \nACGT\n"),
             Err(FastaError::EmptyName { line: 1 })

@@ -92,7 +92,11 @@ pub fn parse_score_file(text: &str, defaults: &Scoring) -> Result<Scoring, Score
             // Expect the column header: a permutation of A C G T.
             let cols: Option<Vec<usize>> = fields
                 .iter()
-                .map(|f| (f.len() == 1).then(|| base_index(f.chars().next().unwrap())).flatten())
+                .map(|f| {
+                    (f.len() == 1)
+                        .then(|| base_index(f.chars().next().unwrap()))
+                        .flatten()
+                })
                 .collect();
             match cols {
                 Some(cols) if cols.len() == 4 => {

@@ -133,7 +133,11 @@ impl fmt::Debug for Sequence {
             self.name,
             self.codes.len(),
             preview,
-            if self.codes.len() > preview_len { "…" } else { "" }
+            if self.codes.len() > preview_len {
+                "…"
+            } else {
+                ""
+            }
         )
     }
 }

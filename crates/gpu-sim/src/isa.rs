@@ -105,7 +105,11 @@ mod tests {
     fn mix_implies_the_calibrated_overhead_factor() {
         // fastz_core::cost::STEP_OVERHEAD_FACTOR = 4.0; the explicit mix
         // must stay consistent with it.
-        assert!((overhead_factor() - 4.0).abs() < 0.01, "{}", overhead_factor());
+        assert!(
+            (overhead_factor() - 4.0).abs() < 0.01,
+            "{}",
+            overhead_factor()
+        );
     }
 
     #[test]

@@ -142,7 +142,11 @@ pub fn time_kernel(device: &DeviceSpec, spec: &KernelSpec) -> KernelTiming {
         launch_s,
         time_s: compute_s.max(memory_s) + launch_s,
         longest_task_s,
-        imbalance: if mean_s > 0.0 { compute_s / mean_s } else { 1.0 },
+        imbalance: if mean_s > 0.0 {
+            compute_s / mean_s
+        } else {
+            1.0
+        },
     }
 }
 
@@ -179,7 +183,11 @@ mod tests {
     fn uniform_tasks_balance_perfectly() {
         let tasks = uniform(68 * 64, 10_000.0, 0.0);
         let t = time_kernel(&dev(), &KernelSpec::new("k", tasks, res()));
-        assert!((t.imbalance - 1.0).abs() < 0.05, "imbalance {}", t.imbalance);
+        assert!(
+            (t.imbalance - 1.0).abs() < 0.05,
+            "imbalance {}",
+            t.imbalance
+        );
         assert!(t.compute_s > 0.0);
         assert_eq!(t.memory_s, 0.0);
     }

@@ -102,8 +102,7 @@ impl CpuModel {
         let slowest = *per_worker_cells.iter().max().unwrap() as f64;
         let compute = slowest / per_worker_rate;
         let total: u64 = per_worker_cells.iter().sum();
-        let bandwidth =
-            total as f64 * CPU_DRAM_BYTES_PER_CELL / (self.spec.dram_bw_gbps * 1e9);
+        let bandwidth = total as f64 * CPU_DRAM_BYTES_PER_CELL / (self.spec.dram_bw_gbps * 1e9);
         compute.max(bandwidth)
     }
 }

@@ -70,11 +70,9 @@ pub fn occupancy(device: &DeviceSpec, res: &BlockResources) -> Occupancy {
     let by_warps = device.max_warps_per_sm / res.warps_per_block;
     let regs_per_block = res.regs_per_thread.max(1) * res.warps_per_block * 32;
     let by_regs = device.regs_per_sm / regs_per_block;
-    let by_shared = if res.shared_bytes_per_block == 0 {
-        usize::MAX
-    } else {
-        device.shared_kib_per_sm * 1024 / res.shared_bytes_per_block
-    };
+    let by_shared = (device.shared_kib_per_sm * 1024)
+        .checked_div(res.shared_bytes_per_block)
+        .unwrap_or(usize::MAX);
 
     let blocks = by_warps.min(by_regs).min(by_shared);
     let limit = if blocks == by_warps {

@@ -24,9 +24,7 @@ pub fn splat<T: Copy>(v: T) -> Lanes<T> {
 #[inline]
 pub fn shfl_up<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
     let mut out = splat(fill);
-    for l in delta..WARP_SIZE {
-        out[l] = v[l - delta];
-    }
+    out[delta..].copy_from_slice(&v[..WARP_SIZE - delta]);
     out
 }
 
@@ -35,9 +33,7 @@ pub fn shfl_up<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
 #[inline]
 pub fn shfl_down<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
     let mut out = splat(fill);
-    for l in 0..WARP_SIZE - delta {
-        out[l] = v[l + delta];
-    }
+    out[..WARP_SIZE - delta].copy_from_slice(&v[delta..]);
     out
 }
 

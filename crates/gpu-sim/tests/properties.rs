@@ -9,12 +9,11 @@ use fastz_gpu_sim::{
 use proptest::prelude::*;
 
 fn lanes_strategy() -> impl Strategy<Value = Lanes<i32>> {
-    proptest::collection::vec(-1000i32..1000, WARP_SIZE)
-        .prop_map(|v| {
-            let mut l = splat(0);
-            l.copy_from_slice(&v);
-            l
-        })
+    proptest::collection::vec(-1000i32..1000, WARP_SIZE).prop_map(|v| {
+        let mut l = splat(0);
+        l.copy_from_slice(&v);
+        l
+    })
 }
 
 fn tasks_strategy() -> impl Strategy<Value = Vec<WarpTask>> {
@@ -42,8 +41,8 @@ proptest! {
     #[test]
     fn ballot_popcount(mask in any::<u32>()) {
         let mut pred = splat(false);
-        for l in 0..WARP_SIZE {
-            pred[l] = mask & (1 << l) != 0;
+        for (l, p) in pred.iter_mut().enumerate() {
+            *p = mask & (1 << l) != 0;
         }
         prop_assert_eq!(ballot(&pred), mask);
         prop_assert_eq!(ballot(&pred).count_ones(), mask.count_ones());
@@ -55,8 +54,8 @@ proptest! {
         let (m, lane) = warp_max_with_lane(&v);
         prop_assert_eq!(m, *v.iter().max().unwrap());
         prop_assert_eq!(v[lane], m);
-        for l in 0..lane {
-            prop_assert!(v[l] < m);
+        for &x in &v[..lane] {
+            prop_assert!(x < m);
         }
     }
 

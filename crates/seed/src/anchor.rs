@@ -222,18 +222,39 @@ mod tests {
     #[test]
     fn filter_suppresses_nearby_same_diagonal() {
         let anchors = vec![
-            Anchor { target_pos: 0, query_pos: 0 },
-            Anchor { target_pos: 5, query_pos: 5 },   // same diagonal, close
-            Anchor { target_pos: 100, query_pos: 100 }, // same diagonal, far
-            Anchor { target_pos: 6, query_pos: 2 },   // different diagonal
+            Anchor {
+                target_pos: 0,
+                query_pos: 0,
+            },
+            Anchor {
+                target_pos: 5,
+                query_pos: 5,
+            }, // same diagonal, close
+            Anchor {
+                target_pos: 100,
+                query_pos: 100,
+            }, // same diagonal, far
+            Anchor {
+                target_pos: 6,
+                query_pos: 2,
+            }, // different diagonal
         ];
         let kept = filter_anchors(&anchors, 20);
         assert_eq!(
             kept,
             vec![
-                Anchor { target_pos: 0, query_pos: 0 },
-                Anchor { target_pos: 100, query_pos: 100 },
-                Anchor { target_pos: 6, query_pos: 2 },
+                Anchor {
+                    target_pos: 0,
+                    query_pos: 0
+                },
+                Anchor {
+                    target_pos: 100,
+                    query_pos: 100
+                },
+                Anchor {
+                    target_pos: 6,
+                    query_pos: 2
+                },
             ]
         );
     }
@@ -241,8 +262,14 @@ mod tests {
     #[test]
     fn filter_window_zero_keeps_everything() {
         let anchors = vec![
-            Anchor { target_pos: 0, query_pos: 0 },
-            Anchor { target_pos: 1, query_pos: 1 },
+            Anchor {
+                target_pos: 0,
+                query_pos: 0,
+            },
+            Anchor {
+                target_pos: 1,
+                query_pos: 1,
+            },
         ];
         assert_eq!(filter_anchors(&anchors, 0), anchors);
     }
@@ -250,7 +277,10 @@ mod tests {
     #[test]
     fn sample_is_even_and_deterministic() {
         let anchors: Vec<Anchor> = (0..1000)
-            .map(|i| Anchor { target_pos: i, query_pos: 0 })
+            .map(|i| Anchor {
+                target_pos: i,
+                query_pos: 0,
+            })
             .collect();
         let s1 = sample_anchors(&anchors, 10);
         let s2 = sample_anchors(&anchors, 10);
@@ -278,7 +308,10 @@ mod tests {
         let anchors = find_anchors(&idx, &query);
         assert_eq!(
             anchors,
-            vec![Anchor { target_pos: 0, query_pos: 0 }]
+            vec![Anchor {
+                target_pos: 0,
+                query_pos: 0
+            }]
         );
     }
 }

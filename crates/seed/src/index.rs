@@ -191,6 +191,6 @@ mod tests {
         let t = random_sequence("t", 10_000, 0.5, 3);
         let idx = SeedIndex::build(&t, SeedShape::exact(12));
         let occ = idx.mean_bucket_occupancy();
-        assert!(occ >= 1.0 && occ < 4.0, "occupancy {occ}");
+        assert!((1.0..4.0).contains(&occ), "occupancy {occ}");
     }
 }

@@ -120,9 +120,7 @@ mod tests {
         let shape = SeedShape::exact(8);
         let mask = WordMask::build(&t, &shape, 16);
         assert!(mask.masked_words() >= 1);
-        let unit_word = shape
-            .word_at(&[0u8, 1, 2, 3, 0, 0, 1, 1], 0)
-            .unwrap();
+        let unit_word = shape.word_at(&[0u8, 1, 2, 3, 0, 0, 1, 1], 0).unwrap();
         assert!(mask.is_masked(unit_word));
         assert!(mask.suppressed_occurrences() >= 40);
         assert_eq!(mask.ceiling(), 16);

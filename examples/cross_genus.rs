@@ -66,8 +66,14 @@ fn main() {
     println!("bin3+bin4 alignments     {big_within:>9}        {big_cross:>9}");
     println!("alignments found         {n_within:>9}        {n_cross:>9}");
 
-    assert_eq!(big_cross, 0, "cross-genus pairs must have no large-bin alignments (§5.4)");
-    assert!(big_within > 0, "the within-genus pair should have long alignments");
+    assert_eq!(
+        big_cross, 0,
+        "cross-genus pairs must have no large-bin alignments (§5.4)"
+    );
+    assert!(
+        big_within > 0,
+        "the within-genus pair should have long alignments"
+    );
     println!(
         "\ncross-genus speedup is {:.2}x the within-genus one (paper: 137/111 ≈ 1.23x)",
         s_cross / s_within

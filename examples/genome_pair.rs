@@ -64,7 +64,10 @@ fn main() {
         "  eager(≤16): {}  bin1(≤512): {}  bin2(≤2k): {}  bin3(≤8k): {}  bin4(≤32k): {}",
         b.eager, b.bins[0], b.bins[1], b.bins[2], b.bins[3]
     );
-    println!("  eager fraction {:.1}% (paper: 75-80%)", 100.0 * b.eager_fraction());
+    println!(
+        "  eager fraction {:.1}% (paper: 75-80%)",
+        100.0 * b.eager_fraction()
+    );
 
     println!("\nFigure 8 phase breakdown (Ampere):");
     print!("{}", report.timeline);

@@ -60,7 +60,7 @@ fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
                     break;
                 }
                 match m % 5 {
-                    0 | 1 | 2 => q[pos] = (q[pos] + 1 + (m % 3) as u8) % 4, // substitution
+                    0..=2 => q[pos] = (q[pos] + 1 + (m % 3) as u8) % 4, // substitution
                     3 => {
                         q.insert(pos, (m % 4) as u8); // insertion
                     }

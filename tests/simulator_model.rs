@@ -4,8 +4,8 @@
 use fastz::core::{baseline_total_time, run_fastz, FastZConfig, OptFlags};
 use fastz::genome::{evolve::generate_pair, PairParams, Scoring};
 use fastz::gpu_sim::{
-    occupancy, time_kernel, time_stream_pipeline, BlockResources, CpuModel, DeviceSpec,
-    KernelSpec, WarpTask,
+    occupancy, time_kernel, time_stream_pipeline, BlockResources, CpuModel, DeviceSpec, KernelSpec,
+    WarpTask,
 };
 use fastz::seed::{Workload, WorkloadParams};
 
@@ -64,8 +64,12 @@ fn eager_traceback_eliminates_most_executor_runs() {
     let with = small_run(OptFlags::with_eager(), DeviceSpec::rtx3080_ampere());
     let without = small_run(OptFlags::with_cyclic(), DeviceSpec::rtx3080_ampere());
     assert_eq!(without.stats.eager_resolved, 0);
-    assert!(with.stats.eager_resolved * 2 > with.stats.problems,
-        "eager resolved only {}/{}", with.stats.eager_resolved, with.stats.problems);
+    assert!(
+        with.stats.eager_resolved * 2 > with.stats.problems,
+        "eager resolved only {}/{}",
+        with.stats.eager_resolved,
+        with.stats.problems
+    );
     assert!(with.stats.executor.tasks < without.stats.executor.tasks);
 }
 
@@ -108,7 +112,10 @@ fn feng_baseline_is_a_slowdown_on_small_search_spaces() {
         speedup < 1.0,
         "baseline should be a slowdown, got {speedup:.2}x"
     );
-    assert!(speedup > 0.2, "baseline unrealistically slow: {speedup:.2}x");
+    assert!(
+        speedup > 0.2,
+        "baseline unrealistically slow: {speedup:.2}x"
+    );
 }
 
 #[test]
