@@ -20,16 +20,22 @@
 //!   --format tsv|general|maf         output format (default tsv)
 //!   --emit-fasta PREFIX              write the (demo) inputs to
 //!                                    PREFIX.target.fa / PREFIX.query.fa and exit
+//!   --fault-plan SEED                inject a seeded fault schedule (hangs,
+//!                                    bit flips, stalls, shmem pressure) and
+//!                                    recover through the resilient dispatcher
+//!   --checkpoint FILE                checkpoint pipeline progress to FILE and
+//!                                    resume from it when present
 //!   --stats                          print pipeline statistics
 //! ```
 
 use fastz_align::{
     multicore_gapped, sequential_gapped, write_general, write_maf, Alignment, DriverConfig,
 };
-use fastz_core::{run_fastz, FastZConfig};
+use fastz_core::{run_fastz, run_fastz_resilient, FastZConfig, ResilienceConfig};
 use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
-use fastz_gpu_sim::DeviceSpec;
+use fastz_gpu_sim::{DeviceSpec, FaultPlan};
 use fastz_seed::{SeedShape, Workload, WorkloadParams};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
@@ -47,13 +53,16 @@ struct Options {
     both_strands: bool,
     format: String,
     emit_fasta: Option<String>,
+    fault_plan: Option<u64>,
+    checkpoint: Option<String>,
 }
 
 impl Options {
     fn usage() -> &'static str {
         "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
          [--device pascal|volta|ampere] [--threads N] [--seed exact19|12of19] \
-         [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] [--stats]"
+         [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
+         [--fault-plan SEED] [--checkpoint FILE] [--stats]"
     }
 
     fn parse(args: &[String]) -> Result<Options, String> {
@@ -72,6 +81,8 @@ impl Options {
             both_strands: false,
             format: "tsv".into(),
             emit_fasta: None,
+            fault_plan: None,
+            checkpoint: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -101,6 +112,14 @@ impl Options {
                 "--both-strands" => opts.both_strands = true,
                 "--format" => opts.format = grab("--format")?,
                 "--emit-fasta" => opts.emit_fasta = Some(grab("--emit-fasta")?),
+                "--fault-plan" => {
+                    opts.fault_plan = Some(
+                        grab("--fault-plan")?
+                            .parse()
+                            .map_err(|_| "--fault-plan must be a seed number".to_string())?,
+                    )
+                }
+                "--checkpoint" => opts.checkpoint = Some(grab("--checkpoint")?),
                 "--help" | "-h" => return Err(Options::usage().to_string()),
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other}\n{}", Options::usage()))
@@ -280,13 +299,29 @@ fn main() -> ExitCode {
                 }
             };
             let cfg = FastZConfig::new(scoring, device);
-            let report = run_fastz(&target, &query, &workload.anchors, span, &cfg);
+            let rcfg = ResilienceConfig {
+                checkpoint: opts.checkpoint.as_ref().map(PathBuf::from),
+                ..match opts.fault_plan {
+                    Some(seed) => ResilienceConfig::with_plan(FaultPlan::from_seed(seed)),
+                    None => ResilienceConfig::disabled(),
+                }
+            };
+            let report = run_fastz_resilient(&target, &query, &workload.anchors, span, &cfg, &rcfg);
             eprintln!(
                 "fastz: GPU pipeline on {} — modeled {:.4} s, simulated in {:.3} s host time",
                 cfg.device.name,
                 report.modeled_time_s,
                 report.host_wall.as_secs_f64()
             );
+            if opts.fault_plan.is_some() || opts.checkpoint.is_some() || opts.stats {
+                eprintln!("fastz: resilience: {}", report.resilience.summary());
+                if report.resilience.resumed {
+                    eprintln!(
+                        "fastz: resumed from checkpoint ({} problems restored)",
+                        report.resilience.restored_problems
+                    );
+                }
+            }
             if opts.stats {
                 eprintln!(
                     "fastz: {} seeds; eager {}, executor {}; bins {:?} (+{} eager, {} overflow)",
@@ -307,7 +342,10 @@ fn main() -> ExitCode {
         }
     };
 
-    emit(&alignments, &target, &query, '+', &opts);
+    if let Err(e) = emit(&alignments, &target, &query, '+', &opts) {
+        eprintln!("fastz: writing output: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut total = alignments.len();
 
     // Minus strand: re-run the chosen engine against the reverse
@@ -350,7 +388,10 @@ fn main() -> ExitCode {
                 run_fastz(&target, &rc, &wl.anchors, wl.shape.span(), &cfg).alignments
             }
         };
-        emit(&minus, &target, &rc, '-', &opts);
+        if let Err(e) = emit(&minus, &target, &rc, '-', &opts) {
+            eprintln!("fastz: writing output: {e}");
+            return ExitCode::FAILURE;
+        }
         total += minus.len();
     }
     eprintln!("fastz: {total} alignments");
@@ -366,26 +407,27 @@ fn scoring_preset(name: &str) -> Option<Scoring> {
 }
 
 /// Writes alignments in the selected format; `strand` marks the query
-/// strand (coordinates refer to the sequence actually aligned).
+/// strand (coordinates refer to the sequence actually aligned). Errors
+/// (closed pipe, full disk) bubble up for a non-zero exit instead of a
+/// panic.
 fn emit(
     alignments: &[Alignment],
     target: &Sequence,
     query: &Sequence,
     strand: char,
     opts: &Options,
-) {
+) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     use std::io::Write;
     match opts.format.as_str() {
-        "maf" => write_maf(&mut out, alignments, target, query).expect("write maf"),
-        "general" => write_general(&mut out, alignments, target, query).expect("write general"),
+        "maf" => write_maf(&mut out, alignments, target, query)?,
+        "general" => write_general(&mut out, alignments, target, query)?,
         _ => {
             writeln!(
                 out,
                 "#score\ttname\ttstart\ttend\tqname\tqstart\tqend\tstrand\tcigar"
-            )
-            .unwrap();
+            )?;
             for a in alignments {
                 writeln!(
                     out,
@@ -399,11 +441,11 @@ fn emit(
                     a.query_end,
                     strand,
                     a.cigar()
-                )
-                .unwrap();
+                )?;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -464,6 +506,18 @@ mod tests {
         assert!(Options::parse(&sv(&["--bogus"])).is_err());
         assert!(Options::parse(&sv(&["a", "b", "c"])).is_err());
         assert!(Options::parse(&sv(&["--help"])).is_err());
+        assert!(Options::parse(&sv(&["--fault-plan", "xyz"])).is_err());
+        assert!(Options::parse(&sv(&["--fault-plan"])).is_err());
+    }
+
+    #[test]
+    fn fault_plan_and_checkpoint_flags() {
+        let o = Options::parse(&sv(&["--fault-plan", "42", "--checkpoint", "run.ckpt"])).unwrap();
+        assert_eq!(o.fault_plan, Some(42));
+        assert_eq!(o.checkpoint.as_deref(), Some("run.ckpt"));
+        let none = Options::parse(&[]).unwrap();
+        assert_eq!(none.fault_plan, None);
+        assert_eq!(none.checkpoint, None);
     }
 
     #[test]

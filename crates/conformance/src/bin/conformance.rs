@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]
-//!             [--corrupt DELTA] [--replay CATEGORY:SEED]
+//!             [--corrupt DELTA] [--fault-seed S] [--replay CATEGORY:SEED]
 //! ```
 //!
 //! Exit status: 0 when every invariant held, 1 when any divergence was
@@ -22,15 +22,18 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
-         \x20                  [--corrupt DELTA] [--replay CATEGORY:SEED]\n\
+         \x20                  [--corrupt DELTA] [--fault-seed S] [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
          conservative, warp, and pipeline engines, checks the paper's\n\
          invariants cell-for-cell against a dense DP oracle, and writes a\n\
          JSON divergence report (first divergent cell, engine pair, replay\n\
          seed). --corrupt adds DELTA to the warp engine's match score to\n\
-         demonstrate the report end to end. --replay re-runs one case by\n\
-         its reported category and seed."
+         demonstrate the report end to end. --fault-seed drills the\n\
+         resilient pipeline under a seeded fault plan (hangs, bit flips,\n\
+         stalls, shmem pressure, device loss) and demands fault-free\n\
+         results with complete fault accounting. --replay re-runs one\n\
+         case by its reported category and seed."
     );
     std::process::exit(2);
 }
@@ -59,6 +62,10 @@ fn parse_args() -> Args {
             "--corrupt" => {
                 args.config.corrupt_warp_match =
                     value("--corrupt").parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-seed" => {
+                args.config.fault_seed =
+                    Some(value("--fault-seed").parse().unwrap_or_else(|_| usage()))
             }
             "--replay" => {
                 let spec = value("--replay");

@@ -55,6 +55,11 @@ pub struct SuiteConfig {
     /// Optional scoring perturbation applied to the warp engine only
     /// (the CLI's `--corrupt` switch): added to the match score.
     pub corrupt_warp_match: i32,
+    /// Optional fault-injection drill (the CLI's `--fault-seed`): each
+    /// pipeline workload re-runs under this seeded fault plan and must
+    /// reproduce the fault-free alignments with complete fault
+    /// accounting.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for SuiteConfig {
@@ -65,6 +70,7 @@ impl Default for SuiteConfig {
             max_extent: usize::MAX,
             pipeline_workloads: 2,
             corrupt_warp_match: 0,
+            fault_seed: None,
         }
     }
 }
@@ -104,6 +110,19 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
         report.cases += 1;
         report.checks += checks;
         report.divergences.extend(divergences);
+    }
+
+    if let Some(fault_seed) = config.fault_seed {
+        for k in 0..config.pipeline_workloads.max(1) {
+            let (checks, divergences) = pipeline::check_pipeline_resilient(
+                config.seed.wrapping_add(k as u64),
+                fault_seed.wrapping_add(k as u64),
+                &scoring,
+            );
+            report.cases += 1;
+            report.checks += checks;
+            report.divergences.extend(divergences);
+        }
     }
 
     report

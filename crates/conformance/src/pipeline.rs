@@ -1,12 +1,18 @@
 //! Full-pipeline conformance: runs `run_fastz` on small synthetic
 //! workloads and checks the report's internal accounting plus every
-//! emitted alignment against an independent rescoring.
+//! emitted alignment against an independent rescoring. The resilience
+//! drill ([`check_pipeline_resilient`]) re-runs the same workload under
+//! a seeded fault plan and demands the exact fault-free alignment set
+//! plus complete fault accounting.
 
-use fastz_core::{run_fastz, FastZConfig, OptFlags};
+use fastz_core::{
+    run_fastz, run_fastz_multi_gpu_resilient, run_fastz_resilient, FastZConfig, OptFlags,
+    Partition, ResilienceConfig,
+};
 use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
 use fastz_genome::Scoring;
-use fastz_gpu_sim::DeviceSpec;
-use fastz_seed::{Workload, WorkloadParams};
+use fastz_gpu_sim::{DeviceSpec, FaultPlan};
+use fastz_seed::{Anchor, Workload, WorkloadParams};
 
 use crate::corpus::Category;
 use crate::report::Divergence;
@@ -17,6 +23,17 @@ fn diverge(seed: u64, invariant: &'static str, message: String) -> Divergence {
         seed,
         invariant,
         engines: "pipeline (run_fastz)",
+        message,
+        first_divergent_cell: None,
+    }
+}
+
+fn diverge_resilient(seed: u64, message: String) -> Divergence {
+    Divergence {
+        category: Category::CleanHomology,
+        seed,
+        invariant: "pipeline-resilience",
+        engines: "pipeline (run_fastz_resilient)",
         message,
         first_divergent_cell: None,
     }
@@ -134,6 +151,142 @@ pub fn check_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) 
                 ),
             ));
         }
+    }
+
+    (checks, out)
+}
+
+/// Fault-injection drill (the CLI's `--fault-seed`): the resilient
+/// pipeline under a seeded fault plan — hangs, bit flips, stalls,
+/// shared-memory pressure, and (multi-GPU) device loss over every bin
+/// class — must complete without panicking, emit a deduped alignment
+/// set byte-identical to the fault-free run, and account for every
+/// injected fault (`injected == detected + tolerated`).
+pub fn check_pipeline_resilient(
+    seed: u64,
+    fault_seed: u64,
+    scoring: &Scoring,
+) -> (usize, Vec<Divergence>) {
+    let pair = generate_pair(&PairParams {
+        label: "resilience-drill".to_string(),
+        target_len: 30_000,
+        query_len: 30_000,
+        segments: 60,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 400,
+            ..WorkloadParams::default()
+        },
+    );
+    let anchors: &[Anchor] = &wl.anchors;
+    let span = wl.shape.span();
+    let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+    cfg.flags = OptFlags::fastz();
+    cfg.sim_threads = 1;
+
+    let clean = run_fastz(&pair.target, &pair.query, anchors, span, &cfg);
+    let rcfg = ResilienceConfig::with_plan(FaultPlan::from_seed(fault_seed));
+    let faulted = run_fastz_resilient(&pair.target, &pair.query, anchors, span, &cfg, &rcfg);
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+
+    checks += 1;
+    if faulted.alignments != clean.alignments {
+        out.push(diverge_resilient(
+            seed,
+            format!(
+                "faulted run produced {} alignments, fault-free {} (sets differ)",
+                faulted.alignments.len(),
+                clean.alignments.len()
+            ),
+        ));
+    }
+    checks += 1;
+    let r = &faulted.resilience;
+    if !r.accounts_for_all_faults() {
+        out.push(diverge_resilient(
+            seed,
+            format!(
+                "fault accounting broken: injected {} != detected {} + tolerated {}",
+                r.injected.total(),
+                r.detected.total(),
+                r.tolerated.total()
+            ),
+        ));
+    }
+    checks += 1;
+    if r.injected.total() == 0 {
+        out.push(diverge_resilient(
+            seed,
+            "drill injected no faults (plan or workload too small)".to_string(),
+        ));
+    }
+    checks += 1;
+    if r.overhead_s <= 0.0 || faulted.modeled_time_s <= clean.modeled_time_s {
+        out.push(diverge_resilient(
+            seed,
+            format!(
+                "fault recovery charged no modeled time (overhead {} s)",
+                r.overhead_s
+            ),
+        ));
+    }
+    checks += 1;
+    if !r.skipped_seeds.is_empty() {
+        // The drill plan's max_consecutive is below the retry budget, so
+        // every problem must converge without being skipped.
+        out.push(diverge_resilient(
+            seed,
+            format!(
+                "{} seeds skipped under a convergent plan",
+                r.skipped_seeds.len()
+            ),
+        ));
+    }
+
+    // Multi-GPU: device loss with re-dispatch to survivors.
+    let devices = vec![DeviceSpec::rtx3080_ampere(); 3];
+    let multi = run_fastz_multi_gpu_resilient(
+        &pair.target,
+        &pair.query,
+        anchors,
+        span,
+        &cfg,
+        &devices,
+        Partition::Strided,
+        &rcfg,
+    );
+    checks += 1;
+    if multi.alignments != clean.alignments {
+        out.push(diverge_resilient(
+            seed,
+            format!(
+                "multi-GPU faulted run produced {} alignments, fault-free single-GPU {}",
+                multi.alignments.len(),
+                clean.alignments.len()
+            ),
+        ));
+    }
+    checks += 1;
+    if !multi.resilience.accounts_for_all_faults() {
+        out.push(diverge_resilient(
+            seed,
+            "multi-GPU fault accounting broken".to_string(),
+        ));
+    }
+    checks += 1;
+    if multi.lost_devices.len() >= devices.len() {
+        out.push(diverge_resilient(
+            seed,
+            "last-survivor guard failed: every device was lost".to_string(),
+        ));
     }
 
     (checks, out)

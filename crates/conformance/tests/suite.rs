@@ -15,6 +15,9 @@ fn small_config() -> SuiteConfig {
         max_extent: 4096,
         pipeline_workloads: 1,
         corrupt_warp_match: 0,
+        // One fault drill rides along so the resilient-pipeline checks
+        // stay exercised in tier-1 (CI's smoke job runs them at scale).
+        fault_seed: Some(7),
     }
 }
 
@@ -31,6 +34,7 @@ fn corrupted_engine_is_detected_with_replayable_cell() {
         pairs: 8,
         corrupt_warp_match: 2,
         pipeline_workloads: 0,
+        fault_seed: None,
         ..small_config()
     };
     let suite = run_suite(&config);

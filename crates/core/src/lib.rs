@@ -15,11 +15,16 @@ pub mod gpu_baseline;
 pub mod layout;
 pub mod multi_gpu;
 pub mod pipeline;
+pub mod resilient;
 pub mod warp_engine;
 
 pub use ablation::OptFlags;
 pub use binning::{bin_allocation, classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
-pub use multi_gpu::{partition_anchors, run_fastz_multi_gpu, MultiGpuReport, Partition};
-pub use pipeline::{run_fastz, FastZConfig, FastZReport, FastZStats};
+pub use multi_gpu::{
+    partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, MultiGpuReport,
+    Partition,
+};
+pub use pipeline::{run_fastz, run_fastz_resilient, FastZConfig, FastZReport, FastZStats};
+pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
 pub use warp_engine::{warp_extend, warp_extend_traced, WarpConfig, WarpExtension};

@@ -16,9 +16,11 @@
 //! host-side scatter/gather term; results are identical to a single-GPU
 //! run by construction (asserted in tests).
 
-use crate::pipeline::{run_fastz, FastZConfig, FastZReport};
+use crate::pipeline::{run_fastz_resilient, FastZConfig, FastZReport};
+use crate::resilient::{ResilienceConfig, ResilienceReport};
 use fastz_align::{dedupe_alignments, Alignment};
 use fastz_genome::Sequence;
+use fastz_gpu_sim::fault::{scope, FaultKind, FaultSite};
 use fastz_gpu_sim::{DeviceSpec, PhaseTimeline};
 use fastz_seed::Anchor;
 
@@ -49,6 +51,12 @@ pub struct MultiGpuReport {
     pub straggler: usize,
     /// Partitioning policy used.
     pub partition: Partition,
+    /// Aggregated fault accounting across all devices, including
+    /// device-loss re-dispatch (all zeros on a fault-free run).
+    pub resilience: ResilienceReport,
+    /// Devices lost mid-run (their unfinished anchors were re-dispatched
+    /// to the survivors).
+    pub lost_devices: Vec<usize>,
 }
 
 impl MultiGpuReport {
@@ -66,8 +74,11 @@ impl MultiGpuReport {
 }
 
 /// Splits `anchors` across `n` partitions under `policy`.
+///
+/// `n == 0` is a caller configuration bug, not a reason to bring a long
+/// run down: it clamps to one partition.
 pub fn partition_anchors(anchors: &[Anchor], n: usize, policy: Partition) -> Vec<Vec<Anchor>> {
-    assert!(n > 0, "need at least one device");
+    let n = n.max(1);
     match policy {
         Partition::Block => {
             let chunk = anchors.len().div_ceil(n).max(1);
@@ -85,7 +96,8 @@ pub fn partition_anchors(anchors: &[Anchor], n: usize, policy: Partition) -> Vec
     }
 }
 
-/// Runs FastZ over `devices`, partitioning the anchors by `policy`.
+/// Runs FastZ over `devices`, partitioning the anchors by `policy`
+/// (fault-free).
 ///
 /// Each device gets the same optimization flags and scoring from `cfg`;
 /// `cfg.device` is ignored in favour of the per-device specs.
@@ -98,17 +110,107 @@ pub fn run_fastz_multi_gpu(
     devices: &[DeviceSpec],
     policy: Partition,
 ) -> MultiGpuReport {
-    assert!(!devices.is_empty(), "need at least one device");
+    run_fastz_multi_gpu_resilient(
+        target,
+        query,
+        anchors,
+        seed_span,
+        cfg,
+        devices,
+        policy,
+        &ResilienceConfig::disabled(),
+    )
+}
+
+/// [`run_fastz_multi_gpu`] under a [`ResilienceConfig`].
+///
+/// Each device's partition is dispatched in
+/// [`ResilienceConfig::dispatch_chunks`] host-visible chunks whose
+/// results are gathered as they complete. A device lost at a chunk
+/// boundary keeps its completed chunks (already on the host) and its
+/// unfinished anchors are re-dispatched round-robin to the surviving
+/// devices — each anchor is processed exactly once, so the deduped
+/// alignment set is identical to a fault-free run. At least one device
+/// always survives (a loss that would orphan the whole run is not
+/// applied). Checkpointing is a single-run facility; per-device runs
+/// here do not checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fastz_multi_gpu_resilient(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+    devices: &[DeviceSpec],
+    policy: Partition,
+    rcfg: &ResilienceConfig,
+) -> MultiGpuReport {
+    // Guard (like `partition_anchors`): an empty device list clamps to
+    // one device modeled from `cfg` instead of panicking.
+    let fallback;
+    let devices: &[DeviceSpec] = if devices.is_empty() {
+        fallback = [cfg.device.clone()];
+        &fallback
+    } else {
+        devices
+    };
     let parts = partition_anchors(anchors, devices.len(), policy);
+
+    // Device-loss schedule: probe each device's dispatch-chunk boundaries.
+    let n_chunks = rcfg.dispatch_chunks.max(1);
+    let mut kept: Vec<Vec<Anchor>> = Vec::with_capacity(devices.len());
+    let mut orphans: Vec<Anchor> = Vec::new();
+    let mut lost_devices: Vec<usize> = Vec::new();
+    let mut res = ResilienceReport::default();
+    for (d, part) in parts.iter().enumerate() {
+        let chunk = part.len().div_ceil(n_chunks).max(1);
+        let mut loss_at = None;
+        if !rcfg.plan.is_none() && !part.is_empty() {
+            for c in 0..part.len().div_ceil(chunk) {
+                let site = FaultSite::new(d as u32, scope::DEVICE, c as u64);
+                if rcfg.plan.fires(FaultKind::DeviceLoss, site, 0) {
+                    loss_at = Some(c * chunk);
+                    break;
+                }
+            }
+        }
+        match loss_at {
+            // Last-survivor guard: a loss that would leave no device
+            // alive is not applied.
+            Some(at) if lost_devices.len() + 1 < devices.len() => {
+                lost_devices.push(d);
+                res.injected.device_losses += 1;
+                res.detected.device_losses += 1;
+                res.redispatched_anchors += part.len() - at;
+                res.overhead_s += HOST_SCATTER_GATHER_S;
+                orphans.extend(part[at..].iter().copied());
+                kept.push(part[..at].to_vec());
+            }
+            _ => kept.push(part.clone()),
+        }
+    }
+    res.devices_lost = lost_devices.len();
+    let survivors: Vec<usize> = (0..devices.len())
+        .filter(|d| !lost_devices.contains(d))
+        .collect();
+    for (i, a) in orphans.into_iter().enumerate() {
+        kept[survivors[i % survivors.len()]].push(a);
+    }
 
     let mut per_device = Vec::with_capacity(devices.len());
     let mut alignments = Vec::new();
-    for (dev, part) in devices.iter().zip(&parts) {
+    for (d, (dev, part)) in devices.iter().zip(&kept).enumerate() {
         let dev_cfg = FastZConfig {
             device: dev.clone(),
             ..cfg.clone()
         };
-        let report = run_fastz(target, query, part, seed_span, &dev_cfg);
+        let dev_rcfg = ResilienceConfig {
+            device_ord: d as u32,
+            checkpoint: None,
+            ..rcfg.clone()
+        };
+        let report = run_fastz_resilient(target, query, part, seed_span, &dev_cfg, &dev_rcfg);
+        res.merge(&report.resilience);
         alignments.extend(report.alignments.iter().cloned());
         per_device.push(report);
     }
@@ -122,10 +224,14 @@ pub fn run_fastz_multi_gpu(
 
     MultiGpuReport {
         alignments: dedupe_alignments(alignments),
-        modeled_time_s: slowest + HOST_SCATTER_GATHER_S * devices.len() as f64,
+        modeled_time_s: slowest
+            + HOST_SCATTER_GATHER_S * devices.len() as f64
+            + HOST_SCATTER_GATHER_S * lost_devices.len() as f64,
         per_device,
         straggler,
         partition: policy,
+        resilience: res,
+        lost_devices,
     }
 }
 
@@ -133,6 +239,7 @@ pub fn run_fastz_multi_gpu(
 mod tests {
     use super::*;
     use crate::ablation::OptFlags;
+    use crate::pipeline::run_fastz;
     use fastz_genome::evolve::{generate_pair, PairParams};
     use fastz_genome::Scoring;
     use fastz_seed::{Workload, WorkloadParams};
@@ -180,6 +287,76 @@ mod tests {
             all.sort_by_key(|a| a.target_pos);
             assert_eq!(all, anchors);
         }
+    }
+
+    #[test]
+    fn zero_devices_and_zero_partitions_clamp() {
+        let anchors: Vec<Anchor> = (0..10)
+            .map(|i| Anchor {
+                target_pos: i,
+                query_pos: i,
+            })
+            .collect();
+        let parts = partition_anchors(&anchors, 0, Partition::Strided);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 10);
+        let (t, q, anchors, span) = demo();
+        let report = run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &[], Partition::Strided);
+        assert_eq!(
+            report.per_device.len(),
+            1,
+            "empty fleet clamps to one device"
+        );
+        assert!(!report.alignments.is_empty());
+    }
+
+    #[test]
+    fn device_loss_redispatches_and_preserves_alignments() {
+        use fastz_gpu_sim::{FaultPlan, FaultRates};
+        let (t, q, anchors, span) = demo();
+        let single = run_fastz(&t, &q, &anchors, span, &cfg());
+        let devices = vec![DeviceSpec::rtx3080_ampere(); 4];
+        // Certain loss at the first chunk boundary of every device: the
+        // last-survivor guard must keep exactly one alive, and that one
+        // inherits every anchor.
+        let plan = FaultPlan::from_seed(3).with_rates(FaultRates {
+            device_loss: 1.0,
+            ..FaultRates::NONE
+        });
+        let rcfg = ResilienceConfig::with_plan(plan);
+        let multi = run_fastz_multi_gpu_resilient(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &devices,
+            Partition::Strided,
+            &rcfg,
+        );
+        assert_eq!(multi.lost_devices.len(), 3, "all but the last survivor die");
+        assert_eq!(multi.resilience.devices_lost, 3);
+        assert!(multi.resilience.redispatched_anchors > 0);
+        assert_eq!(
+            multi.alignments, single.alignments,
+            "re-dispatch changed the alignment set"
+        );
+        assert!(multi.resilience.accounts_for_all_faults());
+
+        // A drill-rate plan (partial losses) preserves the set too.
+        let drill = ResilienceConfig::with_plan(FaultPlan::from_seed(9));
+        let drilled = run_fastz_multi_gpu_resilient(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg(),
+            &devices,
+            Partition::Strided,
+            &drill,
+        );
+        assert_eq!(drilled.alignments, single.alignments);
+        assert!(drilled.resilience.accounts_for_all_faults());
     }
 
     #[test]

@@ -11,14 +11,17 @@
 use crate::ablation::OptFlags;
 use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
 use crate::cost::price_task;
+use crate::resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
 use crate::warp_engine::{warp_extend, WarpConfig, WarpExtension};
 use fastz_align::{push_op, Alignment, EditOp};
 use fastz_genome::{Scoring, Sequence};
-use fastz_gpu_sim::stream::time_stream_pipeline_capped;
+use fastz_gpu_sim::fault::{scope, FaultKind, FaultSite};
+use fastz_gpu_sim::stream::{time_stream_pipeline_capped, time_stream_pipeline_resilient};
 use fastz_gpu_sim::{
     BlockResources, DeviceSpec, KernelCounters, KernelSpec, PhaseTimeline, SharedMem, WarpTask,
 };
 use fastz_seed::Anchor;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Host-side modeling constants for the "other" phase of Figure 8
@@ -117,6 +120,9 @@ pub struct FastZReport {
     /// allocation "enables FastZ to pack many more seed extensions into
     /// one kernel").
     pub executor_alloc_bytes: Option<u64>,
+    /// Fault accounting and recovery actions ([`ResilienceReport::default`]
+    /// — all zeros — on a fault-free run without checkpointing).
+    pub resilience: ResilienceReport,
 }
 
 impl FastZReport {
@@ -141,17 +147,18 @@ impl FastZReport {
     }
 }
 
-/// Outcome of one inspector problem.
-#[derive(Clone, Debug)]
-struct SideResult {
-    score: i32,
-    best_i: usize,
-    best_j: usize,
-    explored_rows: usize,
-    explored_cols: usize,
-    eager_ops: Option<Vec<EditOp>>,
-    task: WarpTask,
-    counters: fastz_gpu_sim::WarpCounters,
+/// Outcome of one extension problem (inspector or executor side).
+/// `pub(crate)` so the checkpoint layer (`resilient`) can persist it.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SideResult {
+    pub(crate) score: i32,
+    pub(crate) best_i: usize,
+    pub(crate) best_j: usize,
+    pub(crate) explored_rows: usize,
+    pub(crate) explored_cols: usize,
+    pub(crate) eager_ops: Option<Vec<EditOp>>,
+    pub(crate) task: WarpTask,
+    pub(crate) counters: fastz_gpu_sim::WarpCounters,
 }
 
 /// One side's final edit script (for splicing).
@@ -205,9 +212,10 @@ fn side_slices<'a>(
 }
 
 /// Runs one phase's problems across host threads, preserving order.
-fn run_phase<F>(n_problems: usize, threads: usize, work: F) -> Vec<SideResult>
+fn run_phase<R, F>(n_problems: usize, threads: usize, work: F) -> Vec<R>
 where
-    F: Fn(usize, &mut SharedMem) -> SideResult + Sync,
+    R: Send,
+    F: Fn(usize, &mut SharedMem) -> R + Sync,
 {
     if n_problems == 0 {
         return Vec::new();
@@ -219,7 +227,7 @@ where
         .filter(|(a, b)| a < b)
         .collect();
     let work = &work;
-    let mut out: Vec<Vec<SideResult>> = std::thread::scope(|scope| {
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(lo, hi)| {
@@ -230,7 +238,7 @@ where
                             shared.clear();
                             work(idx, &mut shared)
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<R>>()
                 })
             })
             .collect();
@@ -243,7 +251,7 @@ where
     flat
 }
 
-/// Runs the FastZ pipeline over `anchors`.
+/// Runs the FastZ pipeline over `anchors` (fault-free, no checkpoint).
 pub fn run_fastz(
     target: &Sequence,
     query: &Sequence,
@@ -251,29 +259,206 @@ pub fn run_fastz(
     seed_span: usize,
     cfg: &FastZConfig,
 ) -> FastZReport {
+    run_fastz_resilient(
+        target,
+        query,
+        anchors,
+        seed_span,
+        cfg,
+        &ResilienceConfig::disabled(),
+    )
+}
+
+/// Per-problem fault handling outcome (bit-flip ladder).
+#[derive(Clone, Copy, Debug, Default)]
+struct ProblemLog {
+    flips: u64,
+    retries: u64,
+    fell_back: bool,
+    skipped: bool,
+    backoff_s: f64,
+    wasted_s: f64,
+}
+
+/// Packs the optimization flags into the workload fingerprint.
+fn flags_bits(flags: &OptFlags) -> u64 {
+    (flags.cyclic_buffers as u64)
+        | (flags.eager_traceback as u64) << 1
+        | (flags.executor_trimming as u64) << 2
+        | (flags.streams as u64) << 3
+}
+
+/// One extension problem under the resilience ladder.
+///
+/// Attempts `0..max_problem_retries` run the configured warp engine;
+/// a bit flip detected on each of those degrades the problem to the
+/// scalar y-drop path — the same engine at strip width 1 (one lane,
+/// one cell per step), whose results are identical by the strip-width
+/// invariance property — for `max_fallback_retries` more attempts.
+/// Exhausting the whole budget skips the problem with record. Each
+/// discarded attempt charges its task's serial time plus an exponential
+/// backoff into the modeled overhead; the clean attempt's result and
+/// counters are the ones kept.
+#[allow(clippy::too_many_arguments)]
+fn extend_resilient(
+    t: &[u8],
+    q: &[u8],
+    scoring: &Scoring,
+    warp_cfg: &WarpConfig,
+    shared: &mut SharedMem,
+    rcfg: &ResilienceConfig,
+    unit: u64,
+    clock_hz: f64,
+) -> (SideResult, ProblemLog) {
+    let mut log = ProblemLog::default();
+    if rcfg.plan.is_none() {
+        let ext = warp_extend(t, q, scoring, warp_cfg, shared);
+        return (side_result(ext), log);
+    }
+    let site = FaultSite::new(rcfg.device_ord, scope::PROBLEM, unit);
+    let budget = rcfg.attempt_budget();
+    let mut attempt = 0u32;
+    loop {
+        let scalar = attempt >= rcfg.max_problem_retries;
+        let engine_cfg = if scalar {
+            warp_cfg.with_strip_width(1)
+        } else {
+            *warp_cfg
+        };
+        shared.clear();
+        let ext = warp_extend(t, q, scoring, &engine_cfg, shared);
+        let r = side_result(ext);
+        if !rcfg.plan.fires(FaultKind::BitFlip, site, attempt) {
+            log.fell_back = scalar;
+            return (r, log);
+        }
+        // ECC flagged a flipped score cell: discard the attempt, charge
+        // its serial time plus backoff, and climb the ladder.
+        log.flips += 1;
+        log.wasted_s += r.task.cycles / clock_hz;
+        log.backoff_s += rcfg.watchdog.backoff_s(attempt);
+        attempt += 1;
+        if attempt >= budget {
+            // Skip with record: the run keeps going without this seed
+            // (its index lands in `ResilienceReport::skipped_seeds`);
+            // the last attempt's result still feeds binning and timing.
+            log.skipped = true;
+            return (r, log);
+        }
+        log.retries += 1;
+    }
+}
+
+/// [`run_fastz`] under a [`ResilienceConfig`]: the same pipeline with
+/// fault injection probes, the bit-flip retry/degradation ladder,
+/// watchdog-priced kernel recovery, and batch-level checkpoint/resume.
+pub fn run_fastz_resilient(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+    rcfg: &ResilienceConfig,
+) -> FastZReport {
     let wall_start = Instant::now();
     let threads = sim_threads(cfg);
     let flags = cfg.flags;
     let n_problems = anchors.len() * 2;
+    let clock_hz = cfg.device.clock_ghz * 1e9;
+
+    // ---- Checkpoint: load and validate against the workload --------------
+    let fingerprint = workload_fingerprint(
+        target,
+        query,
+        anchors,
+        seed_span,
+        &cfg.scoring,
+        flags_bits(&flags),
+    );
+    let mut ckpt = Checkpoint::new(fingerprint);
+    let mut res = ResilienceReport::default();
+    if let Some(path) = &rcfg.checkpoint {
+        if let Ok(Some(prev)) = Checkpoint::load(path) {
+            // A foreign or stale checkpoint (different inputs/flags) is
+            // ignored, not trusted.
+            if prev.fingerprint == fingerprint {
+                res.resumed = prev.inspector_done;
+                ckpt = prev;
+            }
+        }
+    }
+    let mut skipped: BTreeSet<usize> = BTreeSet::new();
+    let absorb = |res: &mut ResilienceReport,
+                  skipped: &mut BTreeSet<usize>,
+                  idx: usize,
+                  log: &ProblemLog| {
+        res.injected.bit_flips += log.flips;
+        res.detected.bit_flips += log.flips;
+        res.retries += log.retries;
+        res.backoff_s += log.backoff_s;
+        res.overhead_s += log.wasted_s + log.backoff_s;
+        if log.fell_back {
+            res.fallbacks += 1;
+        }
+        if log.skipped {
+            skipped.insert(idx / 2);
+        }
+    };
 
     // ---- Inspector phase -------------------------------------------------
     let insp_cfg = WarpConfig::inspector(&flags);
-    let inspector_results = run_phase(n_problems, threads, |idx, shared| {
-        let anchor = anchors[idx / 2];
-        let left = idx % 2 == 0;
-        let mut rev = (Vec::new(), Vec::new());
-        let (t, q) = side_slices(
-            target,
-            query,
-            anchor,
-            seed_span,
-            left,
-            cfg.max_extension,
-            &mut rev,
-        );
-        let ext = warp_extend(t, q, &cfg.scoring, &insp_cfg, shared);
-        side_result(ext)
-    });
+    let restored_inspector =
+        ckpt.inspector_done && (0..n_problems).all(|i| ckpt.inspector.contains_key(&i));
+    let inspector_results: Vec<SideResult> = if restored_inspector {
+        res.restored_problems += n_problems as u64;
+        (0..n_problems)
+            .map(|i| ckpt.inspector[&i].clone())
+            .collect()
+    } else {
+        let outcomes = run_phase(n_problems, threads, |idx, shared| {
+            let anchor = anchors[idx / 2];
+            let left = idx % 2 == 0;
+            let mut rev = (Vec::new(), Vec::new());
+            let (t, q) = side_slices(
+                target,
+                query,
+                anchor,
+                seed_span,
+                left,
+                cfg.max_extension,
+                &mut rev,
+            );
+            extend_resilient(
+                t,
+                q,
+                &cfg.scoring,
+                &insp_cfg,
+                shared,
+                rcfg,
+                idx as u64,
+                clock_hz,
+            )
+        });
+        let mut results = Vec::with_capacity(n_problems);
+        for (idx, (r, log)) in outcomes.into_iter().enumerate() {
+            absorb(&mut res, &mut skipped, idx, &log);
+            results.push(r);
+        }
+        results
+    };
+    if let Some(path) = &rcfg.checkpoint {
+        if !restored_inspector {
+            for (i, r) in inspector_results.iter().enumerate() {
+                ckpt.inspector.insert(i, r.clone());
+            }
+            ckpt.inspector_done = true;
+            // Best-effort persistence: a failed write degrades resume,
+            // never the run itself.
+            if ckpt.save(path).is_ok() {
+                res.checkpoints_written += 1;
+            }
+        }
+    }
 
     let mut stats = FastZStats {
         seeds: anchors.len(),
@@ -329,37 +514,73 @@ pub fn run_fastz(
         if bin.is_empty() {
             continue;
         }
-        let results = run_phase(bin.len(), threads, |k, shared| {
-            let idx = bin[k];
-            let anchor = anchors[idx / 2];
-            let left = idx % 2 == 0;
-            let insp = &inspector_results[idx];
-            let mut rev = (Vec::new(), Vec::new());
-            let (t, q) = side_slices(
-                target,
-                query,
-                anchor,
-                seed_span,
-                left,
-                cfg.max_extension,
-                &mut rev,
-            );
-            let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
-            if !flags.executor_trimming {
-                // Untrimmed executor recomputes the whole search space the
-                // inspector explored, with traceback everywhere (Fig 9
-                // base configuration).
-                exec_cfg.max_rows = insp.explored_rows;
-                exec_cfg.max_cols = insp.explored_cols;
+        // Checkpoint granularity is the executor bin: a bin whose every
+        // problem was persisted restores wholesale; anything less re-runs.
+        let restored_bin =
+            ckpt.bins_done.contains(&slot) && bin.iter().all(|idx| ckpt.executor.contains_key(idx));
+        let mut tasks = Vec::with_capacity(bin.len());
+        if restored_bin {
+            res.restored_problems += bin.len() as u64;
+            for &idx in bin {
+                let r = ckpt.executor[&idx].clone();
+                stats.executor.add_task(&r.counters);
+                tasks.push(r.task);
+                executor_results[idx] = Some(r);
             }
-            let ext = warp_extend(t, q, &cfg.scoring, &exec_cfg, shared);
-            side_result(ext)
-        });
-        let mut tasks = Vec::with_capacity(results.len());
-        for (k, r) in results.into_iter().enumerate() {
-            stats.executor.add_task(&r.counters);
-            tasks.push(r.task);
-            executor_results[bin[k]] = Some(r);
+        } else {
+            let results = run_phase(bin.len(), threads, |k, shared| {
+                let idx = bin[k];
+                let anchor = anchors[idx / 2];
+                let left = idx % 2 == 0;
+                let insp = &inspector_results[idx];
+                let mut rev = (Vec::new(), Vec::new());
+                let (t, q) = side_slices(
+                    target,
+                    query,
+                    anchor,
+                    seed_span,
+                    left,
+                    cfg.max_extension,
+                    &mut rev,
+                );
+                let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
+                if !flags.executor_trimming {
+                    // Untrimmed executor recomputes the whole search space the
+                    // inspector explored, with traceback everywhere (Fig 9
+                    // base configuration).
+                    exec_cfg.max_rows = insp.explored_rows;
+                    exec_cfg.max_cols = insp.explored_cols;
+                }
+                // Executor problem sites live in the upper unit half-space
+                // so their fault schedule is independent of the inspector's.
+                extend_resilient(
+                    t,
+                    q,
+                    &cfg.scoring,
+                    &exec_cfg,
+                    shared,
+                    rcfg,
+                    (1u64 << 32) | idx as u64,
+                    clock_hz,
+                )
+            });
+            for (k, (r, log)) in results.into_iter().enumerate() {
+                absorb(&mut res, &mut skipped, bin[k], &log);
+                stats.executor.add_task(&r.counters);
+                tasks.push(r.task);
+                executor_results[bin[k]] = Some(r);
+            }
+            if let Some(path) = &rcfg.checkpoint {
+                for &idx in bin {
+                    if let Some(r) = &executor_results[idx] {
+                        ckpt.executor.insert(idx, r.clone());
+                    }
+                }
+                ckpt.bins_done.insert(slot);
+                if ckpt.save(path).is_ok() {
+                    res.checkpoints_written += 1;
+                }
+            }
         }
         // One kernel per bin (split into batches like the inspector).
         for (b, chunk) in tasks.chunks(cfg.inspector_batch).enumerate() {
@@ -374,6 +595,11 @@ pub fn run_fastz(
     // ---- Splice halves into alignments -----------------------------------
     let mut alignments: Vec<Alignment> = Vec::new();
     for (a_idx, anchor) in anchors.iter().enumerate() {
+        // A seed whose side exhausted the whole retry/fallback budget is
+        // skipped with record rather than spliced from a suspect result.
+        if skipped.contains(&a_idx) {
+            continue;
+        }
         // A side's final ops come from eager traceback (inspector) when it
         // resolved there, otherwise from the executor's full traceback
         // (both are stored in `SideResult::eager_ops` by `side_result`).
@@ -457,18 +683,51 @@ pub fn run_fastz(
     let usable = cfg.device.mem_gib as u64 * (1 << 30) * 8 / 10;
     let insp_cap = inspector_alloc_bytes.map(|b| (usable / b.max(1)) as usize);
     let exec_cap = executor_alloc_bytes.map(|b| (usable / b.max(1)) as usize);
-    let insp_t =
-        time_stream_pipeline_capped(&cfg.device, &inspector_kernels, flags.streams, insp_cap);
-    let exec_t =
-        time_stream_pipeline_capped(&cfg.device, &executor_kernels, flags.streams, exec_cap);
+    let insp_t = time_stream_pipeline_resilient(
+        &cfg.device,
+        &inspector_kernels,
+        flags.streams,
+        insp_cap,
+        &rcfg.plan,
+        rcfg.device_ord,
+        scope::INSPECTOR_KERNEL,
+        &rcfg.watchdog,
+    );
+    let exec_t = time_stream_pipeline_resilient(
+        &cfg.device,
+        &executor_kernels,
+        flags.streams,
+        exec_cap,
+        &rcfg.plan,
+        rcfg.device_ord,
+        scope::EXECUTOR_KERNEL,
+        &rcfg.watchdog,
+    );
+    for rt in [&insp_t, &exec_t] {
+        // Kernel-level faults: hangs are detected (watchdog + relaunch);
+        // stalls and shared-memory pressure are tolerated in place.
+        res.injected.merge(&rt.faults);
+        res.detected.hangs += rt.faults.hangs;
+        res.tolerated.stalls += rt.faults.stalls;
+        res.tolerated.shmem_pressure += rt.faults.shmem_pressure;
+        res.retries += rt.retries;
+        res.backoff_s += rt.backoff_s;
+        res.overhead_s += rt.overhead_s;
+    }
+    res.skipped_seeds = skipped.into_iter().collect();
     let other_s = host::FIXED_S
         + (target.len() + query.len()) as f64 / host::PCIE_BW
         + anchors.len() as f64 * host::PER_SEED_S;
 
     let mut timeline = PhaseTimeline::new();
-    timeline.add("inspector", insp_t.time_s);
-    timeline.add("executor", exec_t.time_s);
+    timeline.add("inspector", insp_t.base.time_s);
+    timeline.add("executor", exec_t.base.time_s);
     timeline.add("other", other_s);
+    if res.overhead_s > 0.0 {
+        // Fault-free runs keep the three-phase Figure 8 timeline exactly;
+        // fault recovery shows up as its own phase.
+        timeline.add("resilience", res.overhead_s);
+    }
 
     FastZReport {
         alignments,
@@ -482,6 +741,7 @@ pub fn run_fastz(
         other_s,
         inspector_alloc_bytes,
         executor_alloc_bytes,
+        resilience: res,
     }
 }
 

@@ -77,6 +77,59 @@ impl KernelCounters {
     }
 }
 
+/// Per-kind fault accounting (see [`crate::fault`]). One counter per
+/// injectable failure mode; the resilient dispatcher keeps separate
+/// injected / detected / tolerated instances and the conformance drill
+/// asserts `injected == detected + tolerated`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Kernel hangs (watchdog deadline expiries).
+    pub hangs: u64,
+    /// Transient score-cell bit flips (ECC-detected).
+    pub bit_flips: u64,
+    /// Stream stalls.
+    pub stalls: u64,
+    /// Shared-memory capacity pressure events.
+    pub shmem_pressure: u64,
+    /// Whole-device losses.
+    pub device_losses: u64,
+}
+
+impl FaultCounters {
+    /// Records one fault of `kind`.
+    pub fn record(&mut self, kind: crate::fault::FaultKind) {
+        use crate::fault::FaultKind::*;
+        match kind {
+            KernelHang => self.hangs += 1,
+            BitFlip => self.bit_flips += 1,
+            StreamStall => self.stalls += 1,
+            SharedMemPressure => self.shmem_pressure += 1,
+            DeviceLoss => self.device_losses += 1,
+        }
+    }
+
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.hangs += other.hangs;
+        self.bit_flips += other.bit_flips;
+        self.stalls += other.stalls;
+        self.shmem_pressure += other.shmem_pressure;
+        self.device_losses += other.device_losses;
+    }
+
+    /// Total faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.hangs + self.bit_flips + self.stalls + self.shmem_pressure + self.device_losses
+    }
+
+    /// The sum of two counter sets.
+    pub fn plus(&self, other: &FaultCounters) -> FaultCounters {
+        let mut out = *self;
+        out.merge(other);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +167,24 @@ mod tests {
         assert!((c.operational_intensity() - 6.545).abs() < 0.01);
         let no_traffic = WarpCounters::default();
         assert!(no_traffic.operational_intensity().is_infinite());
+    }
+
+    #[test]
+    fn fault_counters_record_and_merge() {
+        use crate::fault::FaultKind;
+        let mut f = FaultCounters::default();
+        for kind in FaultKind::ALL {
+            f.record(kind);
+        }
+        f.record(FaultKind::BitFlip);
+        assert_eq!(f.bit_flips, 2);
+        assert_eq!(f.total(), 6);
+        let sum = f.plus(&f);
+        assert_eq!(sum.total(), 12);
+        assert_eq!(sum.device_losses, 2);
+        let mut g = FaultCounters::default();
+        g.merge(&f);
+        assert_eq!(g, f);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod isa;
 pub mod kernel;
 pub mod model;
@@ -26,15 +27,22 @@ pub mod stream;
 pub mod timeline;
 pub mod warp;
 
-pub use counters::{KernelCounters, WarpCounters};
+pub use counters::{FaultCounters, KernelCounters, WarpCounters};
 pub use device::{CpuSpec, DeviceSpec};
+pub use fault::{
+    time_kernel_resilient, FaultKind, FaultPlan, FaultRates, FaultSite, ResilientKernelTiming,
+    WatchdogPolicy,
+};
 pub use isa::{instructions_per_step, step_mix, InstrClass, MixEntry};
 pub use kernel::{time_kernel, KernelSpec, KernelTiming, WarpTask};
 pub use model::CpuModel;
 pub use occupancy::{occupancy, BlockResources, Occupancy, OccupancyLimit};
 pub use roofline::{analyze, Bound, RooflineReport};
 pub use shared::SharedMem;
-pub use stream::{time_stream_pipeline, time_stream_pipeline_capped, PipelineTiming};
+pub use stream::{
+    time_stream_pipeline, time_stream_pipeline_capped, time_stream_pipeline_resilient,
+    PipelineTiming, ResilientPipelineTiming,
+};
 pub use timeline::{PhaseEntry, PhaseTimeline};
 pub use warp::{
     ballot, branch_paths, lane_max, shfl_down, shfl_up, splat, warp_all, warp_any,

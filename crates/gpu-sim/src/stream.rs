@@ -8,7 +8,9 @@
 //! are total throughput (compute and bandwidth) and the single longest
 //! task.
 
+use crate::counters::FaultCounters;
 use crate::device::DeviceSpec;
+use crate::fault::{time_kernel_resilient, FaultPlan, FaultSite, WatchdogPolicy};
 use crate::kernel::{time_kernel, KernelSpec, WarpTask};
 use crate::occupancy::occupancy;
 
@@ -51,7 +53,9 @@ pub fn time_stream_pipeline_capped(
     streams: usize,
     max_concurrent_tasks: Option<usize>,
 ) -> PipelineTiming {
-    assert!(streams >= 1, "need at least one stream");
+    // Zero streams is a caller configuration bug, not a reason to bring
+    // the whole run down: clamp to one stream (strict serialization).
+    let streams = streams.max(1);
     if kernels.is_empty() {
         return PipelineTiming::default();
     }
@@ -114,9 +118,68 @@ pub fn time_stream_pipeline_capped(
     }
 }
 
+/// Timing of a pipeline run under a fault plan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilientPipelineTiming {
+    /// Fault-free timing of the successful work.
+    pub base: PipelineTiming,
+    /// Modeled time added by fault handling.
+    pub overhead_s: f64,
+    /// Backoff component of the overhead.
+    pub backoff_s: f64,
+    /// Faults injected across all kernels.
+    pub faults: FaultCounters,
+    /// Kernel relaunches forced by hangs.
+    pub retries: u64,
+}
+
+impl ResilientPipelineTiming {
+    /// End-to-end time including fault overhead.
+    pub fn time_s(&self) -> f64 {
+        self.base.time_s + self.overhead_s
+    }
+}
+
+/// [`time_stream_pipeline_capped`] under a [`FaultPlan`]: each kernel is
+/// probed for hangs (watchdog deadline + exponential backoff per
+/// relaunch), stream stalls, and shared-memory pressure at the site
+/// `(device_ord, scope, kernel_index)`; the recovery cost is summed into
+/// `overhead_s` on top of the fault-free pipeline time. Deadlines derive
+/// from each kernel's expected time, which scales with its bin size.
+#[allow(clippy::too_many_arguments)]
+pub fn time_stream_pipeline_resilient(
+    device: &DeviceSpec,
+    kernels: &[KernelSpec],
+    streams: usize,
+    max_concurrent_tasks: Option<usize>,
+    plan: &FaultPlan,
+    device_ord: u32,
+    scope: u32,
+    watchdog: &WatchdogPolicy,
+) -> ResilientPipelineTiming {
+    let base = time_stream_pipeline_capped(device, kernels, streams, max_concurrent_tasks);
+    let mut out = ResilientPipelineTiming {
+        base,
+        ..ResilientPipelineTiming::default()
+    };
+    if plan.is_none() {
+        return out;
+    }
+    for (idx, spec) in kernels.iter().enumerate() {
+        let site = FaultSite::new(device_ord, scope, idx as u64);
+        let t = time_kernel_resilient(device, spec, plan, site, watchdog);
+        out.overhead_s += t.overhead_s;
+        out.backoff_s += t.backoff_s;
+        out.faults.merge(&t.faults);
+        out.retries += t.retries;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRates;
     use crate::occupancy::BlockResources;
 
     fn dev() -> DeviceSpec {
@@ -184,6 +247,59 @@ mod tests {
         let clock_hz = dev().clock_ghz * 1e9;
         assert!(t.compute_s >= 1e9 / clock_hz);
         assert!((t.longest_task_s - 1e9 / clock_hz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_streams_clamps_to_serial_instead_of_panicking() {
+        let kernels = vec![kernel(100, 1_000.0), kernel(100, 1_000.0)];
+        let zero = time_stream_pipeline(&dev(), &kernels, 0);
+        let one = time_stream_pipeline(&dev(), &kernels, 1);
+        assert_eq!(zero, one);
+    }
+
+    #[test]
+    fn resilient_pipeline_charges_faults_on_top_of_base() {
+        let kernels: Vec<KernelSpec> = (0..32).map(|_| kernel(500, 2_000.0)).collect();
+        let watchdog = WatchdogPolicy::default();
+        let plan = FaultPlan::from_seed(11);
+        let free = time_stream_pipeline_resilient(
+            &dev(),
+            &kernels,
+            32,
+            None,
+            &FaultPlan::none(),
+            0,
+            0,
+            &watchdog,
+        );
+        assert_eq!(free.overhead_s, 0.0);
+        assert_eq!(free.faults.total(), 0);
+        let faulty =
+            time_stream_pipeline_resilient(&dev(), &kernels, 32, None, &plan, 0, 0, &watchdog);
+        assert_eq!(
+            faulty.base.time_s, free.base.time_s,
+            "base timing unchanged"
+        );
+        assert!(
+            faulty.faults.total() > 0,
+            "drill rates over 32 kernels should fire"
+        );
+        assert!(faulty.overhead_s > 0.0);
+        assert!((faulty.time_s() - (faulty.base.time_s + faulty.overhead_s)).abs() < 1e-15);
+        // Deterministic across calls.
+        let again =
+            time_stream_pipeline_resilient(&dev(), &kernels, 32, None, &plan, 0, 0, &watchdog);
+        assert_eq!(again.faults, faulty.faults);
+        assert_eq!(again.overhead_s, faulty.overhead_s);
+        // Hang rate 1.0: every kernel retries max_consecutive times.
+        let all_hang = plan.with_rates(FaultRates {
+            hang: 1.0,
+            ..FaultRates::NONE
+        });
+        let hung =
+            time_stream_pipeline_resilient(&dev(), &kernels, 32, None, &all_hang, 0, 0, &watchdog);
+        assert_eq!(hung.retries, 2 * kernels.len() as u64);
+        assert_eq!(hung.faults.hangs, hung.retries);
     }
 
     #[test]

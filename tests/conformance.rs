@@ -16,6 +16,9 @@ fn engines_agree_on_a_small_fuzz_corpus() {
         max_extent: 2048,
         pipeline_workloads: 1,
         corrupt_warp_match: 0,
+        // The fault drill runs in tier-1 via crates/core/tests/resilience.rs
+        // and at full scale in CI's fault-injection job.
+        fault_seed: None,
     });
     assert!(
         suite.is_clean(),
@@ -32,6 +35,7 @@ fn conformance_detects_a_corrupted_engine() {
         max_extent: 0,
         pipeline_workloads: 0,
         corrupt_warp_match: 1,
+        fault_seed: None,
     });
     assert!(
         !suite.is_clean(),
