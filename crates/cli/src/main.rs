@@ -25,15 +25,25 @@
 //!                                    recover through the resilient dispatcher
 //!   --checkpoint FILE                checkpoint pipeline progress to FILE and
 //!                                    resume from it when present
+//!   --metrics-out FILE               export pipeline metrics to FILE
+//!                                    (Prometheus text when FILE ends in
+//!                                    .prom, JSON report otherwise)
+//!   --trace-out FILE                 export the phase span timeline to FILE
+//!                                    as Chrome-trace JSON (chrome://tracing)
 //!   --stats                          print pipeline statistics
 //! ```
+//!
+//! Metric and trace exports are deterministic: a fixed input produces
+//! byte-identical files on every invocation (the timeline runs on the
+//! modeled clock, never wall time).
 
 use fastz_align::{
     multicore_gapped, sequential_gapped, write_general, write_maf, Alignment, DriverConfig,
 };
-use fastz_core::{run_fastz, run_fastz_resilient, FastZConfig, ResilienceConfig};
+use fastz_core::{run_fastz, run_fastz_observed, FastZConfig, ResilienceConfig};
 use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
 use fastz_gpu_sim::{DeviceSpec, FaultPlan};
+use fastz_obs::{export, NoObs, Recorder};
 use fastz_seed::{SeedShape, Workload, WorkloadParams};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -55,6 +65,8 @@ struct Options {
     emit_fasta: Option<String>,
     fault_plan: Option<u64>,
     checkpoint: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Options {
@@ -62,7 +74,8 @@ impl Options {
         "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
          [--device pascal|volta|ampere] [--threads N] [--seed exact19|12of19] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
-         [--fault-plan SEED] [--checkpoint FILE] [--stats]"
+         [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
+         [--trace-out FILE] [--stats]"
     }
 
     fn parse(args: &[String]) -> Result<Options, String> {
@@ -83,6 +96,8 @@ impl Options {
             emit_fasta: None,
             fault_plan: None,
             checkpoint: None,
+            metrics_out: None,
+            trace_out: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -120,6 +135,8 @@ impl Options {
                     )
                 }
                 "--checkpoint" => opts.checkpoint = Some(grab("--checkpoint")?),
+                "--metrics-out" => opts.metrics_out = Some(grab("--metrics-out")?),
+                "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
                 "--help" | "-h" => return Err(Options::usage().to_string()),
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other}\n{}", Options::usage()))
@@ -306,7 +323,48 @@ fn main() -> ExitCode {
                     None => ResilienceConfig::disabled(),
                 }
             };
-            let report = run_fastz_resilient(&target, &query, &workload.anchors, span, &cfg, &rcfg);
+            let observing = opts.metrics_out.is_some() || opts.trace_out.is_some();
+            let mut rec = Recorder::new();
+            let report = if observing {
+                run_fastz_observed(
+                    &target,
+                    &query,
+                    &workload.anchors,
+                    span,
+                    &cfg,
+                    &rcfg,
+                    &mut rec,
+                )
+            } else {
+                run_fastz_observed(
+                    &target,
+                    &query,
+                    &workload.anchors,
+                    span,
+                    &cfg,
+                    &rcfg,
+                    &mut NoObs,
+                )
+            };
+            if let Some(path) = &opts.metrics_out {
+                let text = if path.ends_with(".prom") {
+                    export::prometheus(&rec.registry)
+                } else {
+                    export::json_report(&rec)
+                };
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("fastz: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("fastz: metrics written to {path}");
+            }
+            if let Some(path) = &opts.trace_out {
+                if let Err(e) = std::fs::write(path, export::chrome_trace(&rec.timeline)) {
+                    eprintln!("fastz: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("fastz: trace written to {path}");
+            }
             eprintln!(
                 "fastz: GPU pipeline on {} — modeled {:.4} s, simulated in {:.3} s host time",
                 cfg.device.name,
@@ -518,6 +576,24 @@ mod tests {
         let none = Options::parse(&[]).unwrap();
         assert_eq!(none.fault_plan, None);
         assert_eq!(none.checkpoint, None);
+    }
+
+    #[test]
+    fn metrics_and_trace_flags() {
+        let o = Options::parse(&sv(&[
+            "--metrics-out",
+            "m.prom",
+            "--trace-out",
+            "trace.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+        assert!(Options::parse(&sv(&["--metrics-out"])).is_err());
+        assert!(Options::parse(&sv(&["--trace-out"])).is_err());
+        let none = Options::parse(&[]).unwrap();
+        assert_eq!(none.metrics_out, None);
+        assert_eq!(none.trace_out, None);
     }
 
     #[test]

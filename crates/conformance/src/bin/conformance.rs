@@ -16,13 +16,15 @@ use fastz_conformance::{replay, report, run_suite, Category, SuiteConfig};
 struct Args {
     config: SuiteConfig,
     out: Option<String>,
+    metrics_out: Option<String>,
     replay: Option<(Category, u64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
-         \x20                  [--corrupt DELTA] [--fault-seed S] [--replay CATEGORY:SEED]\n\
+         \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
+         \x20                  [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
          conservative, warp, and pipeline engines, checks the paper's\n\
@@ -32,8 +34,11 @@ fn usage() -> ! {
          demonstrate the report end to end. --fault-seed drills the\n\
          resilient pipeline under a seeded fault plan (hangs, bit flips,\n\
          stalls, shmem pressure, device loss) and demands fault-free\n\
-         results with complete fault accounting. --replay re-runs one\n\
-         case by its reported category and seed."
+         results with complete fault accounting. --metrics-out re-runs\n\
+         the metrics engine-invariance drill (warp vs scalar strip\n\
+         widths, identical semantic counters) and writes the warp run's\n\
+         observability report as JSON. --replay re-runs one case by its\n\
+         reported category and seed."
     );
     std::process::exit(2);
 }
@@ -42,6 +47,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         config: SuiteConfig::default(),
         out: None,
+        metrics_out: None,
         replay: None,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +62,7 @@ fn parse_args() -> Args {
             "--pairs" => args.config.pairs = value("--pairs").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value("--out")),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--max-extent" => {
                 args.config.max_extent = value("--max-extent").parse().unwrap_or_else(|_| usage())
             }
@@ -123,6 +130,26 @@ fn main() -> ExitCode {
     }
 
     let suite = run_suite(&args.config);
+
+    if let Some(path) = &args.metrics_out {
+        let (_, divergences, recorder) = fastz_conformance::pipeline::check_pipeline_metrics(
+            args.config.seed,
+            &fastz_conformance::suite_scoring(),
+        );
+        if !divergences.is_empty() {
+            eprintln!(
+                "metrics drill diverged ({} divergences); report written anyway",
+                divergences.len()
+            );
+        }
+        let json = fastz_obs::export::json_report(&recorder);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("metrics report written to {path}");
+    }
+
     let json = report::to_json(&suite);
     match &args.out {
         Some(path) => {

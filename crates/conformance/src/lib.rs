@@ -112,6 +112,16 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
         report.divergences.extend(divergences);
     }
 
+    // Metrics engine-invariance drill: the observed pipeline at warp and
+    // scalar strip widths must agree on every semantic metric.
+    for k in 0..config.pipeline_workloads {
+        let (checks, divergences, _recorder) =
+            pipeline::check_pipeline_metrics(config.seed.wrapping_add(k as u64), &scoring);
+        report.cases += 1;
+        report.checks += checks;
+        report.divergences.extend(divergences);
+    }
+
     if let Some(fault_seed) = config.fault_seed {
         for k in 0..config.pipeline_workloads.max(1) {
             let (checks, divergences) = pipeline::check_pipeline_resilient(

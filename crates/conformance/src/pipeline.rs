@@ -6,12 +6,13 @@
 //! plus complete fault accounting.
 
 use fastz_core::{
-    run_fastz, run_fastz_multi_gpu_resilient, run_fastz_resilient, FastZConfig, OptFlags,
-    Partition, ResilienceConfig,
+    run_fastz, run_fastz_multi_gpu_resilient, run_fastz_observed, run_fastz_resilient, FastZConfig,
+    OptFlags, Partition, ResilienceConfig,
 };
 use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
 use fastz_genome::Scoring;
 use fastz_gpu_sim::{DeviceSpec, FaultPlan};
+use fastz_obs::Recorder;
 use fastz_seed::{Anchor, Workload, WorkloadParams};
 
 use crate::corpus::Category;
@@ -154,6 +155,145 @@ pub fn check_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) 
     }
 
     (checks, out)
+}
+
+fn diverge_metrics(seed: u64, message: String) -> Divergence {
+    Divergence {
+        category: Category::CleanHomology,
+        seed,
+        invariant: "pipeline-metrics",
+        engines: "pipeline warp (width 32) vs scalar (width 1)",
+        message,
+        first_divergent_cell: None,
+    }
+}
+
+/// Metrics engine-invariance drill: the observed pipeline at strip
+/// width 32 (warp) and strip width 1 (scalar) must emit identical
+/// *semantic* metrics — seeds, problems, eager hits, bin counts,
+/// alignments, the seed-extent histogram — while the per-phase work
+/// counters (steps, ALU ops, …, the `{phase="…"}`-labeled series) are
+/// expected to differ, since strip mining changes how much machine work
+/// produces the same answer. Returns the warp run's recorder so the CLI
+/// can export it (`--metrics-out`).
+pub fn check_pipeline_metrics(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>, Recorder) {
+    // Smaller than the main pipeline workload: this drill runs the
+    // whole pipeline twice (once per engine width).
+    let pair = generate_pair(&PairParams {
+        label: "metrics-drill".to_string(),
+        target_len: 20_000,
+        query_len: 20_000,
+        segments: 40,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 200,
+            ..WorkloadParams::default()
+        },
+    );
+    let span = wl.shape.span();
+    let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+    cfg.flags = OptFlags::fastz();
+    cfg.sim_threads = 1;
+    let rcfg = ResilienceConfig::disabled();
+
+    let mut warp_rec = Recorder::new();
+    let warp = run_fastz_observed(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        span,
+        &cfg,
+        &rcfg,
+        &mut warp_rec,
+    );
+    cfg.strip_width = 1;
+    let mut scalar_rec = Recorder::new();
+    let scalar = run_fastz_observed(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        span,
+        &cfg,
+        &rcfg,
+        &mut scalar_rec,
+    );
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+
+    checks += 1;
+    if warp.alignments != scalar.alignments {
+        out.push(diverge_metrics(
+            seed,
+            format!(
+                "strip-width invariance broken: warp emitted {} alignments, scalar {}",
+                warp.alignments.len(),
+                scalar.alignments.len()
+            ),
+        ));
+    }
+
+    // Semantic counters: everything except the `{phase="…"}`-labeled
+    // work series (those measure machine effort, which legitimately
+    // depends on the strip width).
+    let semantic = |rec: &Recorder| -> Vec<(String, u64)> {
+        rec.registry
+            .counters()
+            .into_iter()
+            .filter(|(name, _)| !name.contains("{phase="))
+            .collect()
+    };
+    checks += 1;
+    let warp_sem = semantic(&warp_rec);
+    let scalar_sem = semantic(&scalar_rec);
+    if warp_sem != scalar_sem {
+        let diff: Vec<String> = warp_sem
+            .iter()
+            .zip(scalar_sem.iter())
+            .filter(|(a, b)| a != b)
+            .map(|((n, w), (_, s))| format!("{n}: warp {w} vs scalar {s}"))
+            .collect();
+        out.push(diverge_metrics(
+            seed,
+            format!(
+                "semantic counters differ across engines: {}",
+                diff.join("; ")
+            ),
+        ));
+    }
+    checks += 1;
+    let extent_hist = fastz_obs::names::SEED_EXTENT_HIST;
+    if warp_rec.registry.histogram(extent_hist) != scalar_rec.registry.histogram(extent_hist) {
+        out.push(diverge_metrics(
+            seed,
+            "seed-extent histograms differ across engines".to_string(),
+        ));
+    }
+    // Sanity on the drill itself: the work counters MUST differ, or the
+    // scalar run silently used the warp engine and the invariance
+    // comparison above proved nothing.
+    checks += 1;
+    let work = |rec: &Recorder| -> Vec<(String, u64)> {
+        rec.registry
+            .counters()
+            .into_iter()
+            .filter(|(name, _)| name.contains("{phase="))
+            .collect()
+    };
+    if work(&warp_rec) == work(&scalar_rec) {
+        out.push(diverge_metrics(
+            seed,
+            "work counters identical across strip widths — drill is vacuous".to_string(),
+        ));
+    }
+
+    (checks, out, warp_rec)
 }
 
 /// Fault-injection drill (the CLI's `--fault-seed`): the resilient

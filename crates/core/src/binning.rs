@@ -85,6 +85,20 @@ impl BinCounts {
             self.eager as f64 / self.total() as f64
         }
     }
+
+    /// Emits one `fastz_bin_seeds_total{bin="…"}` counter per class
+    /// (`eager`, each bound, `overflow`) — all six series always present
+    /// so the exported set is stable across workloads.
+    pub fn record_into<S: fastz_obs::MetricsSink>(&self, sink: &mut S) {
+        sink.counter_add(&fastz_obs::names::bin("eager"), self.eager as u64);
+        for (idx, &bound) in BIN_BOUNDS.iter().enumerate() {
+            sink.counter_add(
+                &fastz_obs::names::bin(&bound.to_string()),
+                self.bins[idx] as u64,
+            );
+        }
+        sink.counter_add(&fastz_obs::names::bin("overflow"), self.overflow as u64);
+    }
 }
 
 #[cfg(test)]

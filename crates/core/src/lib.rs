@@ -25,6 +25,8 @@ pub use multi_gpu::{
     partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, MultiGpuReport,
     Partition,
 };
-pub use pipeline::{run_fastz, run_fastz_resilient, FastZConfig, FastZReport, FastZStats};
+pub use pipeline::{
+    run_fastz, run_fastz_observed, run_fastz_resilient, FastZConfig, FastZReport, FastZStats,
+};
 pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
 pub use warp_engine::{warp_extend, warp_extend_traced, WarpConfig, WarpExtension};

@@ -71,6 +71,29 @@ impl MultiGpuReport {
     pub fn straggler_timeline(&self) -> &PhaseTimeline {
         &self.per_device[self.straggler].timeline
     }
+
+    /// Emits the multi-GPU summary into `sink`: per-device modeled
+    /// seconds, the straggler ordinal, end-to-end modeled time, alignment
+    /// count, and the aggregated fault accounting. Hand this a fresh
+    /// sink — the aggregated resilience counters would double-count on
+    /// top of per-device pipeline emissions.
+    pub fn record_metrics<S: fastz_obs::MetricsSink>(&self, sink: &mut S) {
+        use fastz_obs::names;
+        for (ord, dev) in self.per_device.iter().enumerate() {
+            sink.gauge_set(
+                &fastz_obs::metrics::labeled(
+                    names::DEVICE_MODELED_SECONDS,
+                    "device",
+                    &ord.to_string(),
+                ),
+                dev.modeled_time_s,
+            );
+        }
+        sink.gauge_set(names::STRAGGLER_DEVICE, self.straggler as f64);
+        sink.gauge_set(names::MODELED_TIME_SECONDS, self.modeled_time_s);
+        sink.counter_add(names::ALIGNMENTS_TOTAL, self.alignments.len() as u64);
+        self.resilience.record_into(sink);
+    }
 }
 
 /// Splits `anchors` across `n` partitions under `policy`.

@@ -16,10 +16,13 @@ use crate::warp_engine::{warp_extend, WarpConfig, WarpExtension};
 use fastz_align::{push_op, Alignment, EditOp};
 use fastz_genome::{Scoring, Sequence};
 use fastz_gpu_sim::fault::{scope, FaultKind, FaultSite};
+use fastz_gpu_sim::roofline;
 use fastz_gpu_sim::stream::{time_stream_pipeline_capped, time_stream_pipeline_resilient};
 use fastz_gpu_sim::{
     BlockResources, DeviceSpec, KernelCounters, KernelSpec, PhaseTimeline, SharedMem, WarpTask,
+    WARP_SIZE,
 };
+use fastz_obs::{names, LogicalClock, MetricsSink, NoObs};
 use fastz_seed::Anchor;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -54,6 +57,12 @@ pub struct FastZConfig {
     pub inspector_batch: usize,
     /// Host threads for the functional simulation (0 = all available).
     pub sim_threads: usize,
+    /// Lanes per strip in the warp engine, clamped to `1..=32`. The
+    /// default is the full warp; width 1 runs the pipeline on the scalar
+    /// engine, which the strip-width invariance property guarantees to
+    /// produce identical alignments (the conformance metrics drill
+    /// exercises exactly this).
+    pub strip_width: usize,
 }
 
 impl FastZConfig {
@@ -66,6 +75,7 @@ impl FastZConfig {
             max_extension: 40_000,
             inspector_batch: 2048,
             sim_threads: 0,
+            strip_width: WARP_SIZE,
         }
     }
 }
@@ -159,6 +169,14 @@ pub(crate) struct SideResult {
     pub(crate) eager_ops: Option<Vec<EditOp>>,
     pub(crate) task: WarpTask,
     pub(crate) counters: fastz_gpu_sim::WarpCounters,
+}
+
+impl SideResult {
+    /// Optimal extent (mirrors [`WarpExtension::extent`]) — the length
+    /// that drives Table 2 binning and the seed-extent histogram.
+    pub(crate) fn extent(&self) -> usize {
+        self.best_i.max(self.best_j)
+    }
 }
 
 /// One side's final edit script (for splicing).
@@ -360,20 +378,47 @@ pub fn run_fastz_resilient(
     cfg: &FastZConfig,
     rcfg: &ResilienceConfig,
 ) -> FastZReport {
+    run_fastz_observed(target, query, anchors, seed_span, cfg, rcfg, &mut NoObs)
+}
+
+/// [`run_fastz_resilient`] with a [`MetricsSink`] threaded through the
+/// pipeline: semantic counters, per-problem histograms, timing gauges,
+/// and a phase-scoped span timeline land in `sink`.
+///
+/// With [`NoObs`] the sink calls monomorphize to nothing and the span
+/// layout work is skipped entirely (`S::ENABLED` gate), so the
+/// unobserved pipeline is byte-for-byte the pre-observability machine
+/// code. With a [`fastz_obs::Recorder`], everything exported derives
+/// from the modeled clock and deterministic work counters — never from
+/// wall time — so a fixed-seed run records a byte-identical report on
+/// every invocation.
+pub fn run_fastz_observed<S: MetricsSink>(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+    rcfg: &ResilienceConfig,
+    sink: &mut S,
+) -> FastZReport {
     let wall_start = Instant::now();
     let threads = sim_threads(cfg);
     let flags = cfg.flags;
+    let strip_width = cfg.strip_width.clamp(1, WARP_SIZE);
     let n_problems = anchors.len() * 2;
     let clock_hz = cfg.device.clock_ghz * 1e9;
 
     // ---- Checkpoint: load and validate against the workload --------------
+    // The strip width rides in the fingerprint's upper bits: a
+    // checkpoint written at another width holds the other engine's work
+    // counters and must not be restored into this run.
     let fingerprint = workload_fingerprint(
         target,
         query,
         anchors,
         seed_span,
         &cfg.scoring,
-        flags_bits(&flags),
+        flags_bits(&flags) | (strip_width as u64) << 8,
     );
     let mut ckpt = Checkpoint::new(fingerprint);
     let mut res = ResilienceReport::default();
@@ -406,7 +451,7 @@ pub fn run_fastz_resilient(
     };
 
     // ---- Inspector phase -------------------------------------------------
-    let insp_cfg = WarpConfig::inspector(&flags);
+    let insp_cfg = WarpConfig::inspector(&flags).with_strip_width(strip_width);
     let restored_inspector =
         ckpt.inspector_done && (0..n_problems).all(|i| ckpt.inspector.contains_key(&i));
     let inspector_results: Vec<SideResult> = if restored_inspector {
@@ -467,17 +512,23 @@ pub fn run_fastz_resilient(
     };
     for r in &inspector_results {
         stats.inspector.add_task(&r.counters);
+        sink.observe(
+            names::TASK_CYCLES_INSPECTOR_HIST,
+            &names::TASK_CYCLES_BUCKETS,
+            r.task.cycles,
+        );
     }
 
     // ---- Table 2 classification (per seed, by optimal extent) -----------
     let mut bin_counts = BinCounts::default();
     for pair in inspector_results.chunks(2) {
-        let extent = pair
-            .iter()
-            .map(|r| r.best_i.max(r.best_j))
-            .max()
-            .unwrap_or(0);
+        let extent = pair.iter().map(|r| r.extent()).max().unwrap_or(0);
         bin_counts.record(classify(extent));
+        sink.observe(
+            names::SEED_EXTENT_HIST,
+            &names::SEED_EXTENT_BUCKETS,
+            extent as f64,
+        );
     }
 
     // ---- Partition: eager-resolved vs executor problems ------------------
@@ -498,7 +549,7 @@ pub fn run_fastz_resilient(
     let mut bins: Vec<Vec<usize>> = vec![Vec::new(); BIN_BOUNDS.len() + 2];
     for &idx in &executor_idx {
         let r = &inspector_results[idx];
-        let class = classify(r.best_i.max(r.best_j));
+        let class = classify(r.extent());
         let slot = match class {
             BinClass::Eager => 0, // eager-sized but flag off → smallest bin
             BinClass::Bin(b) => b + 1,
@@ -510,6 +561,9 @@ pub fn run_fastz_resilient(
     // ---- Executor phase ---------------------------------------------------
     let mut executor_results: Vec<Option<SideResult>> = vec![None; n_problems];
     let mut executor_kernels: Vec<KernelSpec> = Vec::new();
+    // Bin slot of each executor kernel, parallel to `executor_kernels` —
+    // lets the emit block below attribute per-bin span durations.
+    let mut executor_kernel_slots: Vec<usize> = Vec::new();
     for (slot, bin) in bins.iter().enumerate() {
         if bin.is_empty() {
             continue;
@@ -524,6 +578,11 @@ pub fn run_fastz_resilient(
             for &idx in bin {
                 let r = ckpt.executor[&idx].clone();
                 stats.executor.add_task(&r.counters);
+                sink.observe(
+                    names::TASK_CYCLES_EXECUTOR_HIST,
+                    &names::TASK_CYCLES_BUCKETS,
+                    r.task.cycles,
+                );
                 tasks.push(r.task);
                 executor_results[idx] = Some(r);
             }
@@ -543,7 +602,8 @@ pub fn run_fastz_resilient(
                     cfg.max_extension,
                     &mut rev,
                 );
-                let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
+                let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j)
+                    .with_strip_width(strip_width);
                 if !flags.executor_trimming {
                     // Untrimmed executor recomputes the whole search space the
                     // inspector explored, with traceback everywhere (Fig 9
@@ -567,6 +627,11 @@ pub fn run_fastz_resilient(
             for (k, (r, log)) in results.into_iter().enumerate() {
                 absorb(&mut res, &mut skipped, bin[k], &log);
                 stats.executor.add_task(&r.counters);
+                sink.observe(
+                    names::TASK_CYCLES_EXECUTOR_HIST,
+                    &names::TASK_CYCLES_BUCKETS,
+                    r.task.cycles,
+                );
                 tasks.push(r.task);
                 executor_results[bin[k]] = Some(r);
             }
@@ -589,6 +654,7 @@ pub fn run_fastz_resilient(
                 chunk.to_vec(),
                 BlockResources::fastz_executor(),
             ));
+            executor_kernel_slots.push(slot);
         }
     }
 
@@ -727,6 +793,107 @@ pub fn run_fastz_resilient(
         // Fault-free runs keep the three-phase Figure 8 timeline exactly;
         // fault recovery shows up as its own phase.
         timeline.add("resilience", res.overhead_s);
+    }
+
+    // ---- Observability emit -----------------------------------------------
+    // Everything below derives from deterministic work counters and the
+    // modeled clock — never wall time — so a fixed-seed run exports
+    // byte-identical metrics and spans on every invocation. The whole
+    // block (including the per-bin span re-timing) is gated on
+    // `S::ENABLED` so `NoObs` runs pay nothing.
+    if S::ENABLED {
+        sink.counter_add(names::SEEDS_TOTAL, stats.seeds as u64);
+        sink.counter_add(names::PROBLEMS_TOTAL, stats.problems as u64);
+        sink.counter_add(names::EAGER_RESOLVED_TOTAL, stats.eager_resolved as u64);
+        sink.counter_add(
+            names::EXECUTOR_PROBLEMS_TOTAL,
+            stats.executor_problems as u64,
+        );
+        sink.counter_add(names::ALIGNMENTS_TOTAL, alignments.len() as u64);
+        bin_counts.record_into(sink);
+        stats.inspector.record_into(sink, "inspector");
+        stats.executor.record_into(sink, "executor");
+        res.record_into(sink);
+
+        let eager_ratio = if stats.problems == 0 {
+            0.0
+        } else {
+            stats.eager_resolved as f64 / stats.problems as f64
+        };
+        sink.gauge_set(names::EAGER_HIT_RATIO, eager_ratio);
+        let mut work = stats.inspector.total;
+        work.merge(&stats.executor.total);
+        let moved = work.shared_bytes + work.global_bytes();
+        let elision = if moved == 0 {
+            0.0
+        } else {
+            work.shared_bytes as f64 / moved as f64
+        };
+        sink.gauge_set(names::GLOBAL_TRAFFIC_ELISION_RATIO, elision);
+        roofline::analyze(
+            &cfg.device,
+            stats.inspector.total.alu_ops,
+            stats.inspector.total.global_bytes(),
+        )
+        .record_into(sink, "inspector");
+        roofline::analyze(
+            &cfg.device,
+            stats.executor.total.alu_ops,
+            stats.executor.total.global_bytes(),
+        )
+        .record_into(sink, "executor");
+        insp_t.base.record_into(sink, "inspector");
+        exec_t.base.record_into(sink, "executor");
+        timeline.record_into(sink);
+        sink.gauge_set(names::MODELED_TIME_SECONDS, timeline.total());
+
+        // Span timeline: phases laid back-to-back on the logical clock.
+        // The per-bin executor spans are an *attribution* view — each
+        // slot's kernels re-timed alone — because the multi-stream model
+        // pools all bins into one bag of tasks; their sum can therefore
+        // differ from the pooled executor phase time (the gauge above
+        // keeps the pooled number).
+        let mut clock = LogicalClock::new();
+        let (s, d) = clock.advance(insp_t.base.time_s * 1e6);
+        sink.span(names::SPAN_INSPECTOR, "gpu", s, d);
+        let eager_cycles: f64 = inspector_results
+            .iter()
+            .filter(|r| flags.eager_traceback && r.eager_ops.is_some())
+            .map(|r| r.counters.scalar_ops as f64)
+            .sum();
+        let eager_us = (eager_cycles / clock_hz * 1e6).min(d);
+        sink.span(names::SPAN_EAGER_TRACEBACK, "gpu", s, eager_us);
+        // Slot 0 holds eager-sized problems run with the flag off — the
+        // same kernel class as the smallest bin.
+        let slot_bound = |slot: usize| -> Option<usize> {
+            match slot {
+                0 => Some(BIN_BOUNDS[0]),
+                s if s <= BIN_BOUNDS.len() => Some(BIN_BOUNDS[s - 1]),
+                _ => None,
+            }
+        };
+        for bound in BIN_BOUNDS.iter().map(|&b| Some(b)).chain([None]) {
+            let group: Vec<KernelSpec> = executor_kernels
+                .iter()
+                .zip(&executor_kernel_slots)
+                .filter(|&(_, &slot)| slot_bound(slot) == bound)
+                .map(|(k, _)| k.clone())
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let t = time_stream_pipeline_capped(&cfg.device, &group, flags.streams, exec_cap);
+            let (s, d) = clock.advance(t.time_s * 1e6);
+            sink.span(names::executor_bin_span(bound), "gpu", s, d);
+        }
+        let (s, d) = clock.advance((insp_t.base.launch_s + exec_t.base.launch_s) * 1e6);
+        sink.span(names::SPAN_STREAM_DISPATCH, "host", s, d);
+        let (s, d) = clock.advance(other_s * 1e6);
+        sink.span(names::SPAN_OTHER, "host", s, d);
+        if res.overhead_s > 0.0 {
+            let (s, d) = clock.advance(res.overhead_s * 1e6);
+            sink.span(names::SPAN_RESILIENT_RETRY, "resilience", s, d);
+        }
     }
 
     FastZReport {

@@ -180,6 +180,27 @@ impl ResilienceReport {
             self.overhead_s,
         )
     }
+
+    /// Emits the full fault-accounting picture into `sink`: per-kind
+    /// `fastz_faults_total{class,kind}` counters for all three classes
+    /// (so `injected == detected + tolerated` can be asserted through
+    /// the registry) plus the recovery-action counters.
+    pub fn record_into<S: fastz_obs::MetricsSink>(&self, sink: &mut S) {
+        use fastz_obs::names;
+        self.injected.record_into(sink, "injected");
+        self.detected.record_into(sink, "detected");
+        self.tolerated.record_into(sink, "tolerated");
+        sink.counter_add(names::RETRIES_TOTAL, self.retries);
+        sink.counter_add(names::FALLBACKS_TOTAL, self.fallbacks);
+        sink.counter_add(names::SKIPPED_SEEDS_TOTAL, self.skipped_seeds.len() as u64);
+        sink.counter_add(names::CHECKPOINTS_WRITTEN_TOTAL, self.checkpoints_written);
+        sink.counter_add(names::RESTORED_PROBLEMS_TOTAL, self.restored_problems);
+        sink.counter_add(
+            names::REDISPATCHED_ANCHORS_TOTAL,
+            self.redispatched_anchors as u64,
+        );
+        sink.counter_add(names::DEVICES_LOST_TOTAL, self.devices_lost as u64);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -113,6 +113,16 @@ pub struct WarpExtension {
     pub explored_cols: usize,
 }
 
+impl WarpExtension {
+    /// Optimal-alignment extent: the larger of the two sequence extents
+    /// at the best cell. This is the length that drives §3.3 binning
+    /// ("smallest bin in which the alignment is contained") and the
+    /// seed-extent histogram.
+    pub fn extent(&self) -> usize {
+        self.best_i.max(self.best_j)
+    }
+}
+
 /// Spill-buffer entry: boundary-column (S, I) for one row.
 #[derive(Clone, Copy)]
 struct Spill {

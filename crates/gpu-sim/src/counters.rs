@@ -1,6 +1,8 @@
 //! Work accounting: what a kernel *did*, measured during functional
 //! execution and consumed by the timing model.
 
+use fastz_obs::{names, MetricsSink};
+
 /// Counters for one warp task (one seed-extension side in FastZ).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WarpCounters {
@@ -52,6 +54,34 @@ impl WarpCounters {
             self.alu_ops as f64 / bytes as f64
         }
     }
+
+    /// Emits every field as a `{phase="…"}`-labeled counter into `sink`.
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S, phase: &str) {
+        sink.counter_add(&names::phase(names::STEPS_TOTAL, phase), self.steps);
+        sink.counter_add(&names::phase(names::CELLS_TOTAL, phase), self.cells);
+        sink.counter_add(&names::phase(names::ALU_OPS_TOTAL, phase), self.alu_ops);
+        sink.counter_add(
+            &names::phase(names::DIVERGENT_STEPS_TOTAL, phase),
+            self.divergent_steps,
+        );
+        sink.counter_add(
+            &names::phase(names::GLOBAL_READ_BYTES_TOTAL, phase),
+            self.global_read,
+        );
+        sink.counter_add(
+            &names::phase(names::GLOBAL_WRITTEN_BYTES_TOTAL, phase),
+            self.global_written,
+        );
+        sink.counter_add(
+            &names::phase(names::SHARED_BYTES_TOTAL, phase),
+            self.shared_bytes,
+        );
+        sink.counter_add(&names::phase(names::SHUFFLES_TOTAL, phase), self.shuffles);
+        sink.counter_add(
+            &names::phase(names::SCALAR_OPS_TOTAL, phase),
+            self.scalar_ops,
+        );
+    }
 }
 
 /// Aggregated counters for a whole kernel.
@@ -74,6 +104,12 @@ impl KernelCounters {
     pub fn merge(&mut self, other: &KernelCounters) {
         self.total.merge(&other.total);
         self.tasks += other.tasks;
+    }
+
+    /// Emits the aggregated work counters plus the task count.
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S, phase: &str) {
+        self.total.record_into(sink, phase);
+        sink.counter_add(&names::phase(names::WARP_TASKS_TOTAL, phase), self.tasks);
     }
 }
 
@@ -127,6 +163,27 @@ impl FaultCounters {
         let mut out = *self;
         out.merge(other);
         out
+    }
+
+    /// The count for one fault kind.
+    pub fn count(&self, kind: crate::fault::FaultKind) -> u64 {
+        use crate::fault::FaultKind::*;
+        match kind {
+            KernelHang => self.hangs,
+            BitFlip => self.bit_flips,
+            StreamStall => self.stalls,
+            SharedMemPressure => self.shmem_pressure,
+            DeviceLoss => self.device_losses,
+        }
+    }
+
+    /// Emits one `fastz_faults_total{class="…",kind="…"}` counter per
+    /// fault kind (zero-count kinds included, so the exported series set
+    /// is stable across runs).
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S, class: &str) {
+        for kind in crate::fault::FaultKind::ALL {
+            sink.counter_add(&names::fault(class, kind.name()), self.count(kind));
+        }
     }
 }
 

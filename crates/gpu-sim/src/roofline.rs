@@ -8,6 +8,7 @@
 
 use crate::device::DeviceSpec;
 use crate::model::DIVERGENCE_DERATE;
+use fastz_obs::{names, MetricsSink};
 
 /// Which roof a kernel sits under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,30 @@ pub struct RooflineReport {
     pub derated_threshold: f64,
     /// The binding roof.
     pub bound: Bound,
+}
+
+impl RooflineReport {
+    /// Emits the roofline position as `{phase="…"}`-labeled gauges.
+    /// (An infinite intensity exports as JSON `null` / Prometheus
+    /// `+Inf`; the derated threshold and boundedness stay meaningful.)
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S, phase: &str) {
+        sink.gauge_set(
+            &names::phase(names::ROOFLINE_INTENSITY, phase),
+            self.intensity,
+        );
+        sink.gauge_set(
+            &names::phase(names::ROOFLINE_DERATED_THRESHOLD, phase),
+            self.derated_threshold,
+        );
+        sink.gauge_set(
+            &names::phase(names::ROOFLINE_COMPUTE_BOUND, phase),
+            if self.bound == Bound::Compute {
+                1.0
+            } else {
+                0.0
+            },
+        );
+    }
 }
 
 /// Builds the report for a phase with measured `ops` and `dram_bytes`.

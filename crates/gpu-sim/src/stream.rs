@@ -13,6 +13,7 @@ use crate::device::DeviceSpec;
 use crate::fault::{time_kernel_resilient, FaultPlan, FaultSite, WatchdogPolicy};
 use crate::kernel::{time_kernel, KernelSpec, WarpTask};
 use crate::occupancy::occupancy;
+use fastz_obs::{names, MetricsSink};
 
 /// Timing of a multi-kernel pipeline.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -27,6 +28,24 @@ pub struct PipelineTiming {
     pub launch_s: f64,
     /// The single longest task's serial time.
     pub longest_task_s: f64,
+}
+
+impl PipelineTiming {
+    /// Emits the timing components as `{phase="…"}`-labeled gauges.
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S, phase: &str) {
+        sink.gauge_set(
+            &names::phase(names::PIPELINE_COMPUTE_SECONDS, phase),
+            self.compute_s,
+        );
+        sink.gauge_set(
+            &names::phase(names::PIPELINE_MEMORY_SECONDS, phase),
+            self.memory_s,
+        );
+        sink.gauge_set(
+            &names::phase(names::PIPELINE_LAUNCH_SECONDS, phase),
+            self.launch_s,
+        );
+    }
 }
 
 /// Times `kernels` executed over `streams` CUDA streams.

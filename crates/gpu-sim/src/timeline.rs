@@ -1,5 +1,6 @@
 //! Phase timeline: attribution of pipeline time to phases (Figure 8).
 
+use fastz_obs::{names, MetricsSink};
 use std::fmt;
 
 /// One named phase and its duration.
@@ -64,6 +65,13 @@ impl PhaseTimeline {
             .iter()
             .find(|e| e.name == name)
             .map_or(0.0, |e| e.seconds)
+    }
+
+    /// Emits one `fastz_phase_seconds{phase="…"}` gauge per entry.
+    pub fn record_into<S: MetricsSink>(&self, sink: &mut S) {
+        for e in &self.entries {
+            sink.gauge_set(&names::phase(names::PHASE_SECONDS, &e.name), e.seconds);
+        }
     }
 }
 

@@ -1,0 +1,39 @@
+//! # fastz-obs
+//!
+//! Zero-cost-when-disabled observability for the FastZ pipeline.
+//!
+//! FastZ's performance story rests on per-phase behaviour — inspector
+//! vs. executor time, the eager-traceback hit rate, bin occupancy, the
+//! ≥96 % global-traffic elision from cyclic register buffering — and
+//! those numbers must be machine-readable and CI-assertable, not
+//! scattered across ad-hoc text dumps. This crate provides:
+//!
+//! * **[`MetricsSink`]** — the one trait everything records through.
+//!   Production paths are generic over it and pass [`NoObs`], whose
+//!   inline empty methods monomorphize to nothing (the same pattern as
+//!   `fastz-align`'s `CellSink`/`NoTrace` cell hook); observed runs
+//!   pass a [`Recorder`].
+//! * **[`Registry`]** — a typed metrics store (counters, gauges,
+//!   histograms) with deterministic (sorted) iteration order.
+//! * **[`Timeline`] + [`LogicalClock`]** — phase-scoped spans placed on
+//!   the *modeled* GPU clock, never the wall clock, so a fixed-seed run
+//!   exports byte-identical timelines on any machine, thread count, or
+//!   build profile.
+//! * **[`export`]** — a JSON report, Prometheus text format, and a
+//!   `chrome://tracing`-loadable Chrome-trace JSON timeline.
+//!
+//! Determinism contract: nothing in this crate reads wall-clock time,
+//! environment, or randomness; every exported byte is a pure function
+//! of what was recorded.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod names;
+pub mod recorder;
+pub mod span;
+
+pub use metrics::{Histogram, MetricValue, MetricsSink, NoObs, Registry};
+pub use recorder::Recorder;
+pub use span::{LogicalClock, SpanRecord, Timeline};

@@ -1,0 +1,296 @@
+//! The [`MetricsSink`] trait, the zero-cost [`NoObs`] sink, and the
+//! typed [`Registry`].
+
+use std::collections::BTreeMap;
+
+/// Receiver for metrics and spans.
+///
+/// Hot paths are generic over this trait; [`NoObs`]'s inline empty
+/// methods compile the calls away entirely, while [`crate::Recorder`]
+/// stores everything. `ENABLED` lets callers gate *preparation* work
+/// (e.g. per-bin re-timing for span attribution) that would otherwise
+/// run even though its result is discarded.
+pub trait MetricsSink {
+    /// `false` only for sinks that discard everything.
+    const ENABLED: bool;
+
+    /// Adds `v` to the counter `name` (creating it at zero).
+    fn counter_add(&mut self, name: &str, v: u64);
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    fn gauge_set(&mut self, name: &str, v: f64);
+
+    /// Records one observation of `v` into the histogram `name` with
+    /// the given bucket upper bounds (`le` semantics; an implicit +Inf
+    /// bucket is always present). Every call for one `name` must pass
+    /// the same `bounds`.
+    fn observe(&mut self, name: &str, bounds: &[f64], v: f64);
+
+    /// Records a completed span `[start_us, start_us + dur_us)` on the
+    /// logical (modeled) clock, in microseconds.
+    fn span(&mut self, name: &str, cat: &str, start_us: f64, dur_us: f64);
+}
+
+/// The production sink: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoObs;
+
+impl MetricsSink for NoObs {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn counter_add(&mut self, _name: &str, _v: u64) {}
+
+    #[inline(always)]
+    fn gauge_set(&mut self, _name: &str, _v: f64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _name: &str, _bounds: &[f64], _v: f64) {}
+
+    #[inline(always)]
+    fn span(&mut self, _name: &str, _cat: &str, _start_us: f64, _dur_us: f64) {}
+}
+
+/// A histogram with explicit bucket upper bounds (`le` semantics) plus
+/// an implicit +Inf bucket; `counts` are per-bucket (not cumulative).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Finite bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`
+    /// (the last slot is the +Inf bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Bucket counts in cumulative (Prometheus `le`) form, ending with
+    /// the +Inf bucket, which always equals [`Histogram::count`].
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// One typed metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Bucketed histogram.
+    Histogram(Histogram),
+}
+
+/// A typed metrics store keyed by metric name (labels, when present,
+/// are embedded Prometheus-style: `name{key="value"}`). Iteration is
+/// sorted by name, so exports are deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `v` to counter `name`; panics if `name` is a gauge or
+    /// histogram (type confusion is a programming bug, not data).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += v,
+            Some(_) => panic!("metric {name} is not a counter"),
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Counter(v));
+            }
+        }
+    }
+
+    /// Sets gauge `name`; panics if `name` is a counter or histogram.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Gauge(g)) => *g = v,
+            Some(_) => panic!("metric {name} is not a gauge"),
+            None => {
+                self.metrics.insert(name.to_string(), MetricValue::Gauge(v));
+            }
+        }
+    }
+
+    /// Observes `v` into histogram `name`; panics on type confusion or
+    /// a bounds mismatch with the histogram's first observation.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.bounds, bounds, "histogram {name} bounds changed");
+                h.observe(v);
+            }
+            Some(_) => panic!("metric {name} is not a histogram"),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(v);
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// The counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics in sorted-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Every counter as `(name, value)`, sorted (the conformance drill
+    /// compares these "semantic" metrics across engines).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.metrics
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) => Some((k.clone(), *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// Embeds one label into a metric name, Prometheus-style:
+/// `labeled("fastz_cells_total", "phase", "inspector")` →
+/// `fastz_cells_total{phase="inspector"}`.
+pub fn labeled(base: &str, key: &str, value: &str) -> String {
+    format!("{base}{{{key}=\"{value}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        assert_eq!(r.counter("a"), Some(5));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.counters(), vec![("a".into(), 5), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = Registry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 10.0, 11.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 2, 1, 1]);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.cumulative(), vec![2, 4, 5, 6]);
+        assert_eq!(*h.cumulative().last().unwrap(), h.count);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut r = Registry::new();
+        r.gauge_set("x", 1.0);
+        r.counter_add("x", 1);
+    }
+
+    #[test]
+    fn labeled_names_format() {
+        assert_eq!(
+            labeled("fastz_cells_total", "phase", "inspector"),
+            "fastz_cells_total{phase=\"inspector\"}"
+        );
+    }
+
+    #[test]
+    fn noobs_is_inert() {
+        let mut sink = NoObs;
+        sink.counter_add("x", 1);
+        sink.gauge_set("y", 2.0);
+        sink.observe("z", &[1.0], 0.5);
+        sink.span("s", "c", 0.0, 1.0);
+        const { assert!(!NoObs::ENABLED) };
+    }
+}

@@ -1,0 +1,185 @@
+//! Stable metric and span names.
+//!
+//! Exporters, golden fixtures, CI gates, and the conformance drill all
+//! key on these strings; treat them as a public wire format and never
+//! rename without regenerating the fixtures.
+
+use crate::metrics::labeled;
+
+// ---------------------------------------------------------------------------
+// Span names (the phase-scoped timeline)
+// ---------------------------------------------------------------------------
+
+/// Inspector phase span.
+pub const SPAN_INSPECTOR: &str = "inspector";
+/// Eager-traceback sub-span (inside the inspector).
+pub const SPAN_EAGER_TRACEBACK: &str = "eager_traceback";
+/// Stream launch/dispatch overhead span.
+pub const SPAN_STREAM_DISPATCH: &str = "stream_dispatch";
+/// Fault-recovery overhead span (absent on fault-free runs).
+pub const SPAN_RESILIENT_RETRY: &str = "resilient_retry";
+/// Host-side "other" span (copies, sorting, bookkeeping).
+pub const SPAN_OTHER: &str = "other";
+
+/// Executor-bin span name for an executor slot's upper bound
+/// (`None` = the overflow class beyond the largest bin).
+pub fn executor_bin_span(bound: Option<usize>) -> &'static str {
+    match bound {
+        Some(512) => "executor_bin512",
+        Some(2048) => "executor_bin2048",
+        Some(8192) => "executor_bin8192",
+        Some(32768) => "executor_bin32768",
+        None => "executor_bin_overflow",
+        Some(other) => panic!("no executor bin with bound {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter names (semantic — engine- and timing-invariant)
+// ---------------------------------------------------------------------------
+
+/// Seed anchors processed.
+pub const SEEDS_TOTAL: &str = "fastz_seeds_total";
+/// One-sided extension problems (2 per seed).
+pub const PROBLEMS_TOTAL: &str = "fastz_problems_total";
+/// Problems finished by eager traceback in the inspector.
+pub const EAGER_RESOLVED_TOTAL: &str = "fastz_eager_resolved_total";
+/// Problems that required the executor.
+pub const EXECUTOR_PROBLEMS_TOTAL: &str = "fastz_executor_problems_total";
+/// Alignments emitted after dedup and thresholding.
+pub const ALIGNMENTS_TOTAL: &str = "fastz_alignments_total";
+/// Per-bin seed counts; label `bin` ∈ eager|512|2048|8192|32768|overflow.
+pub const BIN_SEEDS_TOTAL: &str = "fastz_bin_seeds_total";
+
+/// Per-phase work counters (label `phase` ∈ inspector|executor).
+pub const CELLS_TOTAL: &str = "fastz_cells_total";
+/// Wavefront steps (see [`CELLS_TOTAL`] for labeling).
+pub const STEPS_TOTAL: &str = "fastz_steps_total";
+/// Scalar ALU operations.
+pub const ALU_OPS_TOTAL: &str = "fastz_alu_ops_total";
+/// Steps with at least one divergent branch.
+pub const DIVERGENT_STEPS_TOTAL: &str = "fastz_divergent_steps_total";
+/// Bytes read from global memory.
+pub const GLOBAL_READ_BYTES_TOTAL: &str = "fastz_global_read_bytes_total";
+/// Bytes written to global memory.
+pub const GLOBAL_WRITTEN_BYTES_TOTAL: &str = "fastz_global_written_bytes_total";
+/// Bytes moved through shared memory (elided DRAM traffic).
+pub const SHARED_BYTES_TOTAL: &str = "fastz_shared_bytes_total";
+/// Warp shuffle operations.
+pub const SHUFFLES_TOTAL: &str = "fastz_shuffles_total";
+/// Sequential single-lane operations (traceback walks).
+pub const SCALAR_OPS_TOTAL: &str = "fastz_scalar_ops_total";
+/// Warp tasks priced into the timing model.
+pub const WARP_TASKS_TOTAL: &str = "fastz_warp_tasks_total";
+
+/// Fault accounting; labels `class` ∈ injected|detected|tolerated and
+/// `kind` (a `FaultKind::name()` string, e.g. `bit-flip`).
+pub const FAULTS_TOTAL: &str = "fastz_faults_total";
+/// Kernel relaunches plus problem re-runs.
+pub const RETRIES_TOTAL: &str = "fastz_retries_total";
+/// Problems degraded from the warp engine to the scalar path.
+pub const FALLBACKS_TOTAL: &str = "fastz_fallbacks_total";
+/// Seeds dropped by the skip-with-record rung.
+pub const SKIPPED_SEEDS_TOTAL: &str = "fastz_skipped_seeds_total";
+/// Checkpoint files written.
+pub const CHECKPOINTS_WRITTEN_TOTAL: &str = "fastz_checkpoints_written_total";
+/// Problems restored from a checkpoint.
+pub const RESTORED_PROBLEMS_TOTAL: &str = "fastz_restored_problems_total";
+/// Anchors re-dispatched away from lost devices.
+pub const REDISPATCHED_ANCHORS_TOTAL: &str = "fastz_redispatched_anchors_total";
+/// Devices lost mid-run.
+pub const DEVICES_LOST_TOTAL: &str = "fastz_devices_lost_total";
+
+// ---------------------------------------------------------------------------
+// Gauge names (timing- and model-derived; engine-variant)
+// ---------------------------------------------------------------------------
+
+/// Modeled end-to-end GPU time in seconds.
+pub const MODELED_TIME_SECONDS: &str = "fastz_modeled_time_seconds";
+/// Per-phase modeled seconds; label `phase` names a Figure 8 phase.
+pub const PHASE_SECONDS: &str = "fastz_phase_seconds";
+/// Eager-traceback hit rate ∈ [0, 1].
+pub const EAGER_HIT_RATIO: &str = "fastz_eager_hit_ratio";
+/// Fraction of would-be DRAM traffic elided by cyclic register
+/// buffering (shared bytes over shared + global) — the paper's ≥96 %.
+pub const GLOBAL_TRAFFIC_ELISION_RATIO: &str = "fastz_global_traffic_elision_ratio";
+/// Roofline operational intensity (label `phase`), ops/byte.
+pub const ROOFLINE_INTENSITY: &str = "fastz_roofline_intensity";
+/// Divergence-derated roofline threshold, ops/byte.
+pub const ROOFLINE_DERATED_THRESHOLD: &str = "fastz_roofline_derated_threshold";
+/// 1.0 when the phase is compute-bound, 0.0 when memory-bound
+/// (label `phase`).
+pub const ROOFLINE_COMPUTE_BOUND: &str = "fastz_roofline_compute_bound";
+/// Pipeline compute component in seconds (label `phase`).
+pub const PIPELINE_COMPUTE_SECONDS: &str = "fastz_pipeline_compute_seconds";
+/// Pipeline DRAM component in seconds (label `phase`).
+pub const PIPELINE_MEMORY_SECONDS: &str = "fastz_pipeline_memory_seconds";
+/// Pipeline launch overhead in seconds (label `phase`).
+pub const PIPELINE_LAUNCH_SECONDS: &str = "fastz_pipeline_launch_seconds";
+/// Per-device modeled seconds in a multi-GPU run (label `device`).
+pub const DEVICE_MODELED_SECONDS: &str = "fastz_device_modeled_seconds";
+/// Straggler device ordinal in a multi-GPU run.
+pub const STRAGGLER_DEVICE: &str = "fastz_straggler_device";
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Per-seed optimal extent histogram (buckets mirror the executor
+/// bins: eager ≤16, then 512/2048/8192/32768, +Inf = overflow).
+pub const SEED_EXTENT_HIST: &str = "fastz_seed_extent";
+/// Bucket bounds for [`SEED_EXTENT_HIST`].
+pub const SEED_EXTENT_BUCKETS: [f64; 5] = [16.0, 512.0, 2048.0, 8192.0, 32768.0];
+
+/// Per-problem modeled task cycles, inspector phase.
+pub const TASK_CYCLES_INSPECTOR_HIST: &str = "fastz_task_cycles{phase=\"inspector\"}";
+/// Per-problem modeled task cycles, executor phase.
+pub const TASK_CYCLES_EXECUTOR_HIST: &str = "fastz_task_cycles{phase=\"executor\"}";
+/// Bucket bounds for the task-cycle histograms (decades).
+pub const TASK_CYCLES_BUCKETS: [f64; 6] = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7];
+
+/// `base{phase="<phase>"}` convenience.
+pub fn phase(base: &str, phase: &str) -> String {
+    labeled(base, "phase", phase)
+}
+
+/// `fastz_bin_seeds_total{bin="<bin>"}` convenience.
+pub fn bin(bin: &str) -> String {
+    labeled(BIN_SEEDS_TOTAL, "bin", bin)
+}
+
+/// `fastz_faults_total{class="<class>",kind="<kind>"}` convenience.
+pub fn fault(class: &str, kind: &str) -> String {
+    format!("{FAULTS_TOTAL}{{class=\"{class}\",kind=\"{kind}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_compose_labels() {
+        assert_eq!(
+            phase(CELLS_TOTAL, "inspector"),
+            "fastz_cells_total{phase=\"inspector\"}"
+        );
+        assert_eq!(bin("512"), "fastz_bin_seeds_total{bin=\"512\"}");
+        assert_eq!(
+            fault("injected", "bit-flip"),
+            "fastz_faults_total{class=\"injected\",kind=\"bit-flip\"}"
+        );
+    }
+
+    #[test]
+    fn executor_bin_spans_cover_all_bounds() {
+        assert_eq!(executor_bin_span(Some(512)), "executor_bin512");
+        assert_eq!(executor_bin_span(Some(32768)), "executor_bin32768");
+        assert_eq!(executor_bin_span(None), "executor_bin_overflow");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_bin_bound_panics() {
+        executor_bin_span(Some(1024));
+    }
+}

@@ -1,0 +1,60 @@
+//! The recording [`MetricsSink`]: a [`Registry`] plus a [`Timeline`].
+
+use crate::metrics::{MetricsSink, Registry};
+use crate::span::Timeline;
+
+/// Records every metric and span it is handed. Thread one `Recorder`
+/// through an observed run, then hand it to [`crate::export`].
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    /// The typed metrics store.
+    pub registry: Registry,
+    /// The phase-scoped span timeline.
+    pub timeline: Timeline,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+}
+
+impl MetricsSink for Recorder {
+    const ENABLED: bool = true;
+
+    fn counter_add(&mut self, name: &str, v: u64) {
+        self.registry.counter_add(name, v);
+    }
+
+    fn gauge_set(&mut self, name: &str, v: f64) {
+        self.registry.gauge_set(name, v);
+    }
+
+    fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.registry.observe(name, bounds, v);
+    }
+
+    fn span(&mut self, name: &str, cat: &str, start_us: f64, dur_us: f64) {
+        self.timeline.push(name, cat, start_us, dur_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_stores_everything() {
+        let mut r = Recorder::new();
+        r.counter_add("c", 2);
+        r.gauge_set("g", 1.25);
+        r.observe("h", &[1.0, 2.0], 1.5);
+        r.span("inspector", "gpu", 0.0, 10.0);
+        assert_eq!(r.registry.counter("c"), Some(2));
+        assert_eq!(r.registry.gauge("g"), Some(1.25));
+        assert_eq!(r.registry.histogram("h").unwrap().count, 1);
+        assert_eq!(r.timeline.spans().len(), 1);
+        const { assert!(Recorder::ENABLED) };
+    }
+}

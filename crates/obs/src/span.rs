@@ -1,0 +1,125 @@
+//! Phase-scoped spans on a logical (modeled) clock.
+
+/// One completed span on the logical clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"inspector"`, `"executor_bin512"`).
+    pub name: String,
+    /// Category (`"gpu"`, `"host"`, `"resilience"` …) — becomes the
+    /// Chrome-trace `cat` field.
+    pub cat: String,
+    /// Start on the logical clock, in modeled microseconds.
+    pub start_us: f64,
+    /// Duration in modeled microseconds.
+    pub dur_us: f64,
+}
+
+/// An ordered list of recorded spans.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    spans: Vec<SpanRecord>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Records one completed span.
+    pub fn push(&mut self, name: &str, cat: &str, start_us: f64, dur_us: f64) {
+        assert!(dur_us >= 0.0, "negative span duration");
+        assert!(start_us >= 0.0, "negative span start");
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// All spans in recording order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// The first span named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The logical-clock instant at which the last span ends (0 when
+    /// empty).
+    pub fn end_us(&self) -> f64 {
+        self.spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A monotone cursor on the modeled clock. Phases that execute
+/// back-to-back advance it; sub-spans (e.g. `eager_traceback` inside
+/// `inspector`) are placed with explicit offsets and do not advance it.
+///
+/// The clock deliberately has no connection to wall time: it is seeded
+/// at zero and advanced only by modeled durations, so a fixed-seed run
+/// lays out byte-identical timelines everywhere.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogicalClock {
+    cursor_us: f64,
+}
+
+impl LogicalClock {
+    /// A clock at t = 0.
+    pub fn new() -> LogicalClock {
+        LogicalClock::default()
+    }
+
+    /// Current cursor in modeled microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.cursor_us
+    }
+
+    /// Claims the next `dur_us` of the clock; returns the claimed
+    /// `(start_us, dur_us)` window.
+    pub fn advance(&mut self, dur_us: f64) -> (f64, f64) {
+        assert!(dur_us >= 0.0, "cannot advance the clock backwards");
+        let start = self.cursor_us;
+        self.cursor_us += dur_us;
+        (start, dur_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.now_us(), 0.0);
+        let (s0, d0) = c.advance(5.0);
+        let (s1, _) = c.advance(2.5);
+        assert_eq!((s0, d0), (0.0, 5.0));
+        assert_eq!(s1, 5.0);
+        assert_eq!(c.now_us(), 7.5);
+    }
+
+    #[test]
+    fn timeline_records_and_finds() {
+        let mut t = Timeline::new();
+        t.push("inspector", "gpu", 0.0, 10.0);
+        t.push("executor_bin512", "gpu", 10.0, 4.0);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.find("inspector").unwrap().dur_us, 10.0);
+        assert!(t.find("missing").is_none());
+        assert_eq!(t.end_us(), 14.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_rejected() {
+        Timeline::new().push("x", "gpu", 0.0, -1.0);
+    }
+}

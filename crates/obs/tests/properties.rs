@@ -1,0 +1,203 @@
+//! Property tests for the observability layer.
+//!
+//! Two families: pure registry/histogram algebra under random operation
+//! sequences, and whole-pipeline properties checked *through* the
+//! registry (eager hit rate, fault accounting) on randomly seeded
+//! workloads.
+
+use fastz_core::{run_fastz_observed, FastZConfig, OptFlags, ResilienceConfig};
+use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
+use fastz_genome::{GapPenalties, Scoring, SubstMatrix};
+use fastz_gpu_sim::{DeviceSpec, FaultPlan};
+use fastz_obs::{names, MetricsSink, Recorder, Registry};
+use fastz_seed::{Workload, WorkloadParams};
+use proptest::prelude::*;
+
+/// One randomized sink operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Counter(u8, u32),
+    Gauge(u8, f64),
+    Observe(f64),
+    Span(u8, u32),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    // The vendored proptest subset has no `prop_oneof`; select the
+    // variant from a generated discriminant instead.
+    let op = (0u8..4, 0u8..4, any::<u32>(), -1e6f64..1e6).prop_map(|(sel, k, v, f)| match sel {
+        0 => Op::Counter(k, v),
+        1 => Op::Gauge(k, f),
+        2 => Op::Observe(f),
+        _ => Op::Span(k, v % 1_000_000),
+    });
+    proptest::collection::vec(op, 0..200)
+}
+
+const HIST_BOUNDS: [f64; 4] = [-10.0, 0.0, 100.0, 10_000.0];
+
+fn counter_name(k: u8) -> String {
+    format!("c{k}_total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every counter is monotone across span boundaries: snapshotting
+    /// the registry at each recorded span never shows a counter
+    /// decrease, whatever operations were interleaved.
+    #[test]
+    fn counters_monotone_across_span_boundaries(ops in ops_strategy()) {
+        let mut rec = Recorder::new();
+        let mut prev: Vec<Option<u64>> = vec![None; 4];
+        let mut clock = 0.0;
+        for op in &ops {
+            match *op {
+                Op::Counter(k, v) => rec.counter_add(&counter_name(k), v as u64),
+                Op::Gauge(k, v) => rec.gauge_set(&format!("g{k}"), v),
+                Op::Observe(v) => rec.observe("h", &HIST_BOUNDS, v),
+                Op::Span(k, d) => {
+                    rec.span(&format!("s{k}"), "test", clock, d as f64);
+                    clock += d as f64;
+                    // Span boundary: every counter must be >= its value
+                    // at the previous boundary.
+                    for (k, prev) in prev.iter_mut().enumerate() {
+                        let now = rec.registry.counter(&counter_name(k as u8));
+                        if let (Some(p), now) = (*prev, now) {
+                            prop_assert!(
+                                now.is_some_and(|n| n >= p),
+                                "counter c{k} went from {p} to {now:?} across a span boundary"
+                            );
+                        }
+                        if now.is_some() {
+                            *prev = now;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A histogram's per-bucket counts always sum to its observation
+    /// count, its cumulative form ends at that count, and its `sum`
+    /// matches the observations.
+    #[test]
+    fn histogram_buckets_partition_count(values in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut reg = Registry::new();
+        for &v in &values {
+            reg.observe("h", &HIST_BOUNDS, v);
+        }
+        let h = reg.histogram("h").unwrap();
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        let cumulative = h.cumulative();
+        prop_assert_eq!(*cumulative.last().unwrap(), h.count);
+        let expected_sum: f64 = values.iter().sum();
+        prop_assert!((h.sum - expected_sum).abs() <= 1e-6 * expected_sum.abs().max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline properties, checked through the registry
+// ---------------------------------------------------------------------------
+
+fn test_scoring() -> Scoring {
+    Scoring {
+        subst: SubstMatrix::match_mismatch(10, -15),
+        gaps: GapPenalties::new(30, 5),
+        ydrop: 120,
+        xdrop: 40,
+        hsp_threshold: 50,
+        gapped_threshold: 50,
+    }
+}
+
+fn observed_run(seed: u64, rcfg: &ResilienceConfig) -> Recorder {
+    let pair = generate_pair(&PairParams {
+        label: "obs-prop".to_string(),
+        target_len: 10_000,
+        query_len: 10_000,
+        segments: 20,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 100,
+            ..WorkloadParams::default()
+        },
+    );
+    let mut cfg = FastZConfig::new(test_scoring(), DeviceSpec::rtx3080_ampere());
+    cfg.flags = OptFlags::fastz();
+    cfg.sim_threads = 1;
+    let mut rec = Recorder::new();
+    run_fastz_observed(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &cfg,
+        &rcfg.clone(),
+        &mut rec,
+    );
+    rec
+}
+
+const FAULT_KINDS: [&str; 5] = [
+    "kernel-hang",
+    "bit-flip",
+    "stream-stall",
+    "shmem-pressure",
+    "device-loss",
+];
+
+fn fault_class_total(reg: &Registry, class: &str) -> u64 {
+    FAULT_KINDS
+        .iter()
+        .map(|kind| reg.counter(&names::fault(class, kind)).unwrap_or(0))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The exported eager hit rate is always within [0, 1] and agrees
+    /// with the exported counters it is derived from.
+    #[test]
+    fn eager_hit_rate_in_unit_interval(seed in 0u64..1_000_000) {
+        let rec = observed_run(seed, &ResilienceConfig::disabled());
+        let ratio = rec.registry.gauge(names::EAGER_HIT_RATIO).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ratio), "eager hit rate {ratio} outside [0, 1]");
+        let eager = rec.registry.counter(names::EAGER_RESOLVED_TOTAL).unwrap_or(0);
+        let problems = rec.registry.counter(names::PROBLEMS_TOTAL).unwrap_or(0);
+        if problems > 0 {
+            let expected = eager as f64 / problems as f64;
+            prop_assert!(
+                (ratio - expected).abs() < 1e-12,
+                "ratio {ratio} != eager {eager} / problems {problems}"
+            );
+        }
+    }
+
+    /// Fault accounting holds through the registry: summed over every
+    /// fault kind, `injected == detected + tolerated`.
+    #[test]
+    fn fault_accounting_balances_in_registry(seed in 0u64..1_000_000, fault_seed in 1u64..1_000_000) {
+        let rcfg = ResilienceConfig::with_plan(FaultPlan::from_seed(fault_seed));
+        let rec = observed_run(seed, &rcfg);
+        let injected = fault_class_total(&rec.registry, "injected");
+        let detected = fault_class_total(&rec.registry, "detected");
+        let tolerated = fault_class_total(&rec.registry, "tolerated");
+        prop_assert_eq!(
+            injected,
+            detected + tolerated,
+            "injected {} != detected {} + tolerated {}",
+            injected,
+            detected,
+            tolerated
+        );
+    }
+}
