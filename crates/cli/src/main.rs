@@ -10,6 +10,10 @@
 //!   --engine fastz|lastz|multicore   extension engine (default fastz)
 //!   --device pascal|volta|ampere     GPU to model (default ampere)
 //!   --threads N                      multicore workers (default 16)
+//!   --sim-threads N                  host threads for the FastZ functional
+//!                                    simulation (default: all cores); wall
+//!                                    clock only, never the results or the
+//!                                    modeled GPU time
 //!   --seed exact19|12of19            seed shape (default 12of19)
 //!   --max-anchors N                  seed budget (default unlimited)
 //!   --scoring lastz|bench            scoring preset (default lastz)
@@ -54,6 +58,7 @@ struct Options {
     engine: String,
     device: String,
     threads: usize,
+    sim_threads: usize,
     seed: String,
     max_anchors: usize,
     scoring: String,
@@ -72,7 +77,8 @@ struct Options {
 impl Options {
     fn usage() -> &'static str {
         "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
-         [--device pascal|volta|ampere] [--threads N] [--seed exact19|12of19] \
+         [--device pascal|volta|ampere] [--threads N] [--sim-threads N] \
+         [--seed exact19|12of19] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
          [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
          [--trace-out FILE] [--stats]"
@@ -85,6 +91,7 @@ impl Options {
             engine: "fastz".into(),
             device: "ampere".into(),
             threads: 16,
+            sim_threads: 0,
             seed: "12of19".into(),
             max_anchors: 0,
             scoring: "lastz".into(),
@@ -113,6 +120,11 @@ impl Options {
                     opts.threads = grab("--threads")?
                         .parse()
                         .map_err(|_| "--threads must be a number".to_string())?
+                }
+                "--sim-threads" => {
+                    opts.sim_threads = grab("--sim-threads")?
+                        .parse()
+                        .map_err(|_| "--sim-threads must be a number".to_string())?
                 }
                 "--seed" => opts.seed = grab("--seed")?,
                 "--max-anchors" => {
@@ -315,7 +327,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cfg = FastZConfig::new(scoring, device);
+            let cfg = FastZConfig {
+                sim_threads: opts.sim_threads,
+                ..FastZConfig::new(scoring, device)
+            };
             let rcfg = ResilienceConfig {
                 checkpoint: opts.checkpoint.as_ref().map(PathBuf::from),
                 ..match opts.fault_plan {

@@ -15,6 +15,7 @@ pub mod gpu_baseline;
 pub mod layout;
 pub mod multi_gpu;
 pub mod pipeline;
+pub mod pool;
 pub mod resilient;
 pub mod warp_engine;
 
@@ -22,11 +23,15 @@ pub use ablation::OptFlags;
 pub use binning::{bin_allocation, classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
 pub use multi_gpu::{
-    partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, MultiGpuReport,
-    Partition,
+    partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, straggler_index,
+    MultiGpuReport, Partition,
 };
 pub use pipeline::{
     run_fastz, run_fastz_observed, run_fastz_resilient, FastZConfig, FastZReport, FastZStats,
 };
+pub use pool::{Arena, HostDispatch, HostPool, PoolStats};
 pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
-pub use warp_engine::{warp_extend, warp_extend_traced, WarpConfig, WarpExtension};
+pub use warp_engine::{
+    warp_extend, warp_extend_in, warp_extend_traced, warp_extend_traced_in, WarpConfig,
+    WarpExtension,
+};

@@ -96,6 +96,24 @@ impl MultiGpuReport {
     }
 }
 
+/// Index of the largest modeled time under [`f64::total_cmp`] — the
+/// straggler ranking. `total_cmp` gives NaN a defined order (positive
+/// NaN sorts greatest), so a degenerate custom [`DeviceSpec`] — e.g.
+/// zero bandwidth or a zero clock, whose modeled times go infinite or
+/// NaN — ranks deterministically instead of panicking the way
+/// `partial_cmp().unwrap()` did. Ties keep the last index, matching the
+/// old comparator on finite input.
+///
+/// # Panics
+/// Panics on an empty iterator (the device list is never empty here).
+pub fn straggler_index(times: impl Iterator<Item = f64>) -> usize {
+    times
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one device")
+        .0
+}
+
 /// Splits `anchors` across `n` partitions under `policy`.
 ///
 /// `n == 0` is a caller configuration bug, not a reason to bring a long
@@ -220,30 +238,53 @@ pub fn run_fastz_multi_gpu_resilient(
         kept[survivors[i % survivors.len()]].push(a);
     }
 
-    let mut per_device = Vec::with_capacity(devices.len());
+    // Devices run concurrently on host threads (each with its own share
+    // of the simulation pool so the fleet does not oversubscribe the
+    // host), gathered back in device order; a device thread's panic is
+    // re-raised here with its original payload. Results are identical
+    // to the old serial loop by the pipeline's determinism contract.
+    let host_threads = if cfg.sim_threads > 0 {
+        cfg.sim_threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    };
+    let per_device_threads = (host_threads / devices.len()).max(1);
+    let per_device: Vec<FastZReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = devices
+            .iter()
+            .zip(&kept)
+            .enumerate()
+            .map(|(d, (dev, part))| {
+                let dev_cfg = FastZConfig {
+                    device: dev.clone(),
+                    sim_threads: per_device_threads,
+                    ..cfg.clone()
+                };
+                let dev_rcfg = ResilienceConfig {
+                    device_ord: d as u32,
+                    checkpoint: None,
+                    ..rcfg.clone()
+                };
+                s.spawn(move || {
+                    run_fastz_resilient(target, query, part, seed_span, &dev_cfg, &dev_rcfg)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
     let mut alignments = Vec::new();
-    for (d, (dev, part)) in devices.iter().zip(&kept).enumerate() {
-        let dev_cfg = FastZConfig {
-            device: dev.clone(),
-            ..cfg.clone()
-        };
-        let dev_rcfg = ResilienceConfig {
-            device_ord: d as u32,
-            checkpoint: None,
-            ..rcfg.clone()
-        };
-        let report = run_fastz_resilient(target, query, part, seed_span, &dev_cfg, &dev_rcfg);
+    for report in &per_device {
         res.merge(&report.resilience);
         alignments.extend(report.alignments.iter().cloned());
-        per_device.push(report);
     }
 
-    let (straggler, slowest) = per_device
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (i, r.modeled_time_s))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let straggler = straggler_index(per_device.iter().map(|r| r.modeled_time_s));
+    let slowest = per_device[straggler].modeled_time_s;
 
     MultiGpuReport {
         alignments: dedupe_alignments(alignments),
@@ -442,6 +483,42 @@ mod tests {
     }
 
     #[test]
+    fn straggler_ranking_handles_nan_and_infinity() {
+        // `partial_cmp().unwrap()` panicked on the NaN; `total_cmp`
+        // ranks it greatest (positive NaN sorts above +inf).
+        assert_eq!(straggler_index([1.0, f64::NAN, 0.5].into_iter()), 1);
+        assert_eq!(straggler_index([1.0, f64::INFINITY, 2.0].into_iter()), 1);
+        assert_eq!(straggler_index([0.25, 0.5, 0.125].into_iter()), 1);
+        // Ties keep the last index, like the old finite-input comparator.
+        assert_eq!(straggler_index([3.0, 3.0].into_iter()), 1);
+    }
+
+    #[test]
+    fn zero_bandwidth_device_ranks_without_panicking() {
+        // A degenerate custom spec (no DRAM bandwidth, no clock) drives
+        // the modeled kernel times through divisions by zero. The run
+        // must complete, rank the degenerate device as the straggler,
+        // and keep the alignment set intact.
+        let (t, q, anchors, span) = demo();
+        let broken = DeviceSpec {
+            name: "degenerate",
+            dram_bw_gbps: 0.0,
+            clock_ghz: 0.0,
+            ..DeviceSpec::rtx3080_ampere()
+        };
+        let devices = vec![broken, DeviceSpec::rtx3080_ampere()];
+        let single = run_fastz(&t, &q, &anchors, span, &cfg());
+        let multi =
+            run_fastz_multi_gpu(&t, &q, &anchors, span, &cfg(), &devices, Partition::Strided);
+        assert_eq!(multi.straggler, 0, "the degenerate device must straggle");
+        assert!(
+            !multi.modeled_time_s.is_finite(),
+            "a zero-bandwidth device cannot finish in finite modeled time"
+        );
+        assert_eq!(multi.alignments, single.alignments);
+    }
+
+    #[test]
     fn heterogeneous_devices_straggle_on_the_slowest() {
         let (t, q, anchors, span) = demo();
         let devices = vec![DeviceSpec::rtx3080_ampere(), DeviceSpec::titan_x_pascal()];
@@ -453,7 +530,7 @@ mod tests {
             .per_device
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.modeled_time_s.partial_cmp(&b.1.modeled_time_s).unwrap())
+            .max_by(|a, b| a.1.modeled_time_s.total_cmp(&b.1.modeled_time_s))
             .unwrap()
             .0;
         assert_eq!(multi.straggler, argmax);

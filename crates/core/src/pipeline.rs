@@ -11,8 +11,9 @@
 use crate::ablation::OptFlags;
 use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
 use crate::cost::price_task;
+use crate::pool::{HostDispatch, HostPool};
 use crate::resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
-use crate::warp_engine::{warp_extend, WarpConfig, WarpExtension};
+use crate::warp_engine::{warp_extend_in, WarpConfig, WarpExtension};
 use fastz_align::{push_op, Alignment, EditOp};
 use fastz_genome::{Scoring, Sequence};
 use fastz_gpu_sim::fault::{scope, FaultKind, FaultSite};
@@ -56,7 +57,14 @@ pub struct FastZConfig {
     /// Warp tasks per inspector kernel launch.
     pub inspector_batch: usize,
     /// Host threads for the functional simulation (0 = all available).
+    /// Affects host wall-clock only: alignments, bin counts, and
+    /// modeled GPU time are bit-identical for every value.
     pub sim_threads: usize,
+    /// How the host pool hands problems to its workers
+    /// ([`HostDispatch::Stealing`] by default; [`HostDispatch::Static`]
+    /// reproduces the legacy per-phase chunking as a baseline). Results
+    /// are identical either way — only wall-clock changes.
+    pub host_dispatch: HostDispatch,
     /// Lanes per strip in the warp engine, clamped to `1..=32`. The
     /// default is the full warp; width 1 runs the pipeline on the scalar
     /// engine, which the strip-width invariance property guarantees to
@@ -75,6 +83,7 @@ impl FastZConfig {
             max_extension: 40_000,
             inspector_batch: 2048,
             sim_threads: 0,
+            host_dispatch: HostDispatch::default(),
             strip_width: WARP_SIZE,
         }
     }
@@ -229,45 +238,11 @@ fn side_slices<'a>(
     }
 }
 
-/// Runs one phase's problems across host threads, preserving order.
-fn run_phase<R, F>(n_problems: usize, threads: usize, work: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize, &mut SharedMem) -> R + Sync,
-{
-    if n_problems == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n_problems).max(1);
-    let chunk = n_problems.div_ceil(threads);
-    let chunks: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(n_problems)))
-        .filter(|(a, b)| a < b)
-        .collect();
-    let work = &work;
-    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(lo, hi)| {
-                scope.spawn(move || {
-                    let mut shared = SharedMem::new(96 * 1024);
-                    (lo..hi)
-                        .map(|idx| {
-                            shared.clear();
-                            work(idx, &mut shared)
-                        })
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut flat = Vec::with_capacity(n_problems);
-    for part in out.drain(..) {
-        flat.extend(part);
-    }
-    flat
-}
+// Phase execution lives in `crate::pool`: a persistent work-stealing
+// worker set with per-worker buffer arenas replaces the old
+// spawn-per-phase static chunking (`run_phase`). Problems are claimed
+// through an atomic index, results come back in problem order, and a
+// worker panic is re-raised with its original payload.
 
 /// Runs the FastZ pipeline over `anchors` (fault-free, no checkpoint).
 pub fn run_fastz(
@@ -324,13 +299,14 @@ fn extend_resilient(
     scoring: &Scoring,
     warp_cfg: &WarpConfig,
     shared: &mut SharedMem,
+    tbm: &mut Vec<u8>,
     rcfg: &ResilienceConfig,
     unit: u64,
     clock_hz: f64,
 ) -> (SideResult, ProblemLog) {
     let mut log = ProblemLog::default();
     if rcfg.plan.is_none() {
-        let ext = warp_extend(t, q, scoring, warp_cfg, shared);
+        let ext = warp_extend_in(t, q, scoring, warp_cfg, shared, tbm);
         return (side_result(ext), log);
     }
     let site = FaultSite::new(rcfg.device_ord, scope::PROBLEM, unit);
@@ -344,7 +320,7 @@ fn extend_resilient(
             *warp_cfg
         };
         shared.clear();
-        let ext = warp_extend(t, q, scoring, &engine_cfg, shared);
+        let ext = warp_extend_in(t, q, scoring, &engine_cfg, shared, tbm);
         let r = side_result(ext);
         if !rcfg.plan.fires(FaultKind::BitFlip, site, attempt) {
             log.fell_back = scalar;
@@ -401,8 +377,28 @@ pub fn run_fastz_observed<S: MetricsSink>(
     rcfg: &ResilienceConfig,
     sink: &mut S,
 ) -> FastZReport {
+    // One persistent worker set for the whole run: both phases dispatch
+    // onto the same pool, and each worker's arena survives from the
+    // inspector into the executor.
+    std::thread::scope(|scope| {
+        let pool = HostPool::new(scope, sim_threads(cfg), &cfg.device, cfg.host_dispatch);
+        run_fastz_pooled(target, query, anchors, seed_span, cfg, rcfg, sink, &pool)
+    })
+}
+
+/// The pipeline body, parameterized over an already-running [`HostPool`].
+#[allow(clippy::too_many_arguments)]
+fn run_fastz_pooled<S: MetricsSink>(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    seed_span: usize,
+    cfg: &FastZConfig,
+    rcfg: &ResilienceConfig,
+    sink: &mut S,
+    pool: &HostPool<'_>,
+) -> FastZReport {
     let wall_start = Instant::now();
-    let threads = sim_threads(cfg);
     let flags = cfg.flags;
     let strip_width = cfg.strip_width.clamp(1, WARP_SIZE);
     let n_problems = anchors.len() * 2;
@@ -460,10 +456,9 @@ pub fn run_fastz_observed<S: MetricsSink>(
             .map(|i| ckpt.inspector[&i].clone())
             .collect()
     } else {
-        let outcomes = run_phase(n_problems, threads, |idx, shared| {
+        let outcomes = pool.run(n_problems, |idx, arena| {
             let anchor = anchors[idx / 2];
             let left = idx % 2 == 0;
-            let mut rev = (Vec::new(), Vec::new());
             let (t, q) = side_slices(
                 target,
                 query,
@@ -471,14 +466,15 @@ pub fn run_fastz_observed<S: MetricsSink>(
                 seed_span,
                 left,
                 cfg.max_extension,
-                &mut rev,
+                &mut arena.rev,
             );
             extend_resilient(
                 t,
                 q,
                 &cfg.scoring,
                 &insp_cfg,
-                shared,
+                &mut arena.shared,
+                &mut arena.scratch,
                 rcfg,
                 idx as u64,
                 clock_hz,
@@ -587,12 +583,11 @@ pub fn run_fastz_observed<S: MetricsSink>(
                 executor_results[idx] = Some(r);
             }
         } else {
-            let results = run_phase(bin.len(), threads, |k, shared| {
+            let results = pool.run(bin.len(), |k, arena| {
                 let idx = bin[k];
                 let anchor = anchors[idx / 2];
                 let left = idx % 2 == 0;
                 let insp = &inspector_results[idx];
-                let mut rev = (Vec::new(), Vec::new());
                 let (t, q) = side_slices(
                     target,
                     query,
@@ -600,7 +595,7 @@ pub fn run_fastz_observed<S: MetricsSink>(
                     seed_span,
                     left,
                     cfg.max_extension,
-                    &mut rev,
+                    &mut arena.rev,
                 );
                 let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j)
                     .with_strip_width(strip_width);
@@ -611,6 +606,12 @@ pub fn run_fastz_observed<S: MetricsSink>(
                     exec_cfg.max_rows = insp.explored_rows;
                     exec_cfg.max_cols = insp.explored_cols;
                 }
+                // The bin's arena traceback buffer, leased by slot: the
+                // engine zero-resizes it to the trimmed cell count, so the
+                // first problem of a class allocates and the rest reuse.
+                let rows = q.len().min(exec_cfg.max_rows);
+                let cols = t.len().min(exec_cfg.max_cols);
+                let tbm = arena.tb.lease(slot, rows.saturating_mul(cols));
                 // Executor problem sites live in the upper unit half-space
                 // so their fault schedule is independent of the inspector's.
                 extend_resilient(
@@ -618,7 +619,8 @@ pub fn run_fastz_observed<S: MetricsSink>(
                     q,
                     &cfg.scoring,
                     &exec_cfg,
-                    shared,
+                    &mut arena.shared,
+                    tbm,
                     rcfg,
                     (1u64 << 32) | idx as u64,
                     clock_hz,
@@ -846,6 +848,23 @@ pub fn run_fastz_observed<S: MetricsSink>(
         exec_t.base.record_into(sink, "executor");
         timeline.record_into(sink);
         sink.gauge_set(names::MODELED_TIME_SECONDS, timeline.total());
+
+        // Host execution pool telemetry. Tasks, phases, and the arena
+        // counters are deterministic at one worker (the golden workload
+        // pins `sim_threads = 1`); steals and occupancy describe the
+        // actual schedule.
+        let ps = pool.stats();
+        sink.gauge_set(names::POOL_WORKERS, ps.workers as f64);
+        sink.counter_add(names::POOL_PHASES_TOTAL, ps.phases);
+        sink.counter_add(names::POOL_TASKS_TOTAL, ps.tasks);
+        sink.counter_add(names::POOL_STEALS_TOTAL, ps.steals);
+        sink.gauge_set(names::POOL_OCCUPANCY_RATIO, ps.occupancy());
+        sink.counter_add(names::ARENA_TB_HITS_TOTAL, ps.tb_hits);
+        sink.counter_add(names::ARENA_TB_MISSES_TOTAL, ps.tb_misses);
+        sink.gauge_set(
+            names::SHARED_CAPACITY_BYTES,
+            (cfg.device.shared_kib_per_sm * 1024) as f64,
+        );
 
         // Span timeline: phases laid back-to-back on the logical clock.
         // The per-bin executor spans are an *attribution* view — each
@@ -1091,5 +1110,102 @@ mod tests {
         let report = run_fastz(&t, &q, &[], span, &config());
         assert!(report.alignments.is_empty());
         assert_eq!(report.bin_counts.total(), 0);
+    }
+
+    #[test]
+    fn shared_capacity_observes_the_device_spec() {
+        // Regression for the hardcoded 96-KiB scratchpad: an RTX 3080
+        // run must observe the device's full 128 KiB, and a Pascal run
+        // its 96 KiB — derived from the spec, not a constant.
+        let (t, q, anchors, span) = demo(107);
+        let observe = |device: DeviceSpec| {
+            let mut rec = fastz_obs::Recorder::new();
+            let cfg = FastZConfig { device, ..config() };
+            run_fastz_observed(
+                &t,
+                &q,
+                &anchors,
+                span,
+                &cfg,
+                &ResilienceConfig::disabled(),
+                &mut rec,
+            );
+            rec.registry.gauge(names::SHARED_CAPACITY_BYTES).unwrap()
+        };
+        assert_eq!(observe(DeviceSpec::rtx3080_ampere()), (128 * 1024) as f64);
+        assert_eq!(observe(DeviceSpec::titan_x_pascal()), (96 * 1024) as f64);
+    }
+
+    #[test]
+    fn report_is_invariant_across_sim_threads_and_dispatch() {
+        // The pool's determinism contract at unit scale (the proptest
+        // widens the corpus sweep): alignments, bin counts, and the
+        // modeled time's exact bits never depend on worker count or
+        // dispatch mode.
+        let (t, q, anchors, span) = demo(108);
+        let run_with = |threads: usize, dispatch: crate::pool::HostDispatch| {
+            let cfg = FastZConfig {
+                sim_threads: threads,
+                host_dispatch: dispatch,
+                ..config()
+            };
+            run_fastz(&t, &q, &anchors, span, &cfg)
+        };
+        let reference = run_with(1, crate::pool::HostDispatch::Stealing);
+        for threads in [2, 7, 0] {
+            for dispatch in [
+                crate::pool::HostDispatch::Stealing,
+                crate::pool::HostDispatch::Static,
+            ] {
+                let r = run_with(threads, dispatch);
+                assert_eq!(r.alignments, reference.alignments);
+                assert_eq!(r.bin_counts, reference.bin_counts);
+                assert_eq!(
+                    r.modeled_time_s.to_bits(),
+                    reference.modeled_time_s.to_bits(),
+                    "modeled time drifted at {threads} threads / {dispatch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_telemetry_reaches_the_sink() {
+        let (t, q, anchors, span) = demo(109);
+        let mut rec = fastz_obs::Recorder::new();
+        let cfg = FastZConfig {
+            sim_threads: 1,
+            ..config()
+        };
+        run_fastz_observed(
+            &t,
+            &q,
+            &anchors,
+            span,
+            &cfg,
+            &ResilienceConfig::disabled(),
+            &mut rec,
+        );
+        let reg = &rec.registry;
+        assert_eq!(reg.gauge(names::POOL_WORKERS), Some(1.0));
+        // Inspector + at least one executor bin.
+        assert!(reg.counter(names::POOL_PHASES_TOTAL).unwrap() >= 2);
+        // Every problem ran exactly once: inspector problems plus the
+        // executor residue.
+        let tasks = reg.counter(names::POOL_TASKS_TOTAL).unwrap();
+        assert_eq!(
+            tasks,
+            (anchors.len() * 2) as u64 + reg.counter(names::EXECUTOR_PROBLEMS_TOTAL).unwrap()
+        );
+        assert_eq!(reg.counter(names::POOL_STEALS_TOTAL), Some(0));
+        assert_eq!(reg.gauge(names::POOL_OCCUPANCY_RATIO), Some(1.0));
+        // Executor bins reuse traceback buffers after the first lease.
+        let hits = reg.counter(names::ARENA_TB_HITS_TOTAL).unwrap();
+        let misses = reg.counter(names::ARENA_TB_MISSES_TOTAL).unwrap();
+        assert_eq!(
+            hits + misses,
+            reg.counter(names::EXECUTOR_PROBLEMS_TOTAL).unwrap()
+        );
+        assert!(hits >= 1, "no arena reuse at all ({hits}/{misses})");
     }
 }

@@ -34,6 +34,16 @@
 //! after every completed executor bin, so a killed run restarts from the
 //! last completed bin instead of from scratch. The checkpoint is keyed
 //! by a workload fingerprint; a stale or foreign checkpoint is ignored.
+//!
+//! **Interplay with the host execution pool** (`crate::pool`): resilient
+//! problems run on the pool's work-stealing workers like any other task.
+//! Every fault decision — the injection schedule, the retry ladder, the
+//! degrade-to-scalar fallback, skip-with-record — is keyed by the
+//! problem's *index* (its deterministic fault-site id), never by the
+//! worker that happens to claim it, so retries and fallbacks land
+//! identically for every `sim_threads` value and dispatch mode. Per-try
+//! scratch lives in the claiming worker's [`crate::pool::Arena`]; a
+//! retry reuses the same worker's buffers.
 
 use crate::pipeline::SideResult;
 use fastz_align::EditOp;

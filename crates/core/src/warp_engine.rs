@@ -148,6 +148,24 @@ pub fn warp_extend(
     warp_extend_traced(target, query, scoring, cfg, shared, &mut NoTrace)
 }
 
+/// [`warp_extend`] with an externally owned traceback matrix buffer.
+///
+/// `tbm` is cleared and zero-resized to exactly the trimmed `m×n` cell
+/// count before use (only in executor mode; non-recording calls never
+/// touch it), so a buffer reused across problems — e.g. from a
+/// [`crate::pool::Arena`] — produces bit-identical results to a fresh
+/// allocation while skipping the per-problem allocation entirely.
+pub fn warp_extend_in(
+    target: &[u8],
+    query: &[u8],
+    scoring: &Scoring,
+    cfg: &WarpConfig,
+    shared: &mut SharedMem,
+    tbm: &mut Vec<u8>,
+) -> WarpExtension {
+    warp_extend_traced_in(target, query, scoring, cfg, shared, tbm, &mut NoTrace)
+}
+
 /// [`warp_extend`] that additionally reports every live cell to `sink`
 /// (the conformance oracle's cell-for-cell hook; [`NoTrace`] compiles
 /// the calls away on the production path).
@@ -157,6 +175,21 @@ pub fn warp_extend_traced<K: CellSink>(
     scoring: &Scoring,
     cfg: &WarpConfig,
     shared: &mut SharedMem,
+    sink: &mut K,
+) -> WarpExtension {
+    let mut tbm = Vec::new();
+    warp_extend_traced_in(target, query, scoring, cfg, shared, &mut tbm, sink)
+}
+
+/// [`warp_extend_traced`] with an externally owned traceback buffer
+/// (see [`warp_extend_in`]).
+pub fn warp_extend_traced_in<K: CellSink>(
+    target: &[u8],
+    query: &[u8],
+    scoring: &Scoring,
+    cfg: &WarpConfig,
+    shared: &mut SharedMem,
+    tbm: &mut Vec<u8>,
     sink: &mut K,
 ) -> WarpExtension {
     let so_se = scoring.gaps.open_score();
@@ -211,21 +244,21 @@ pub fn warp_extend_traced<K: CellSink>(
         width + ((ydrop + width as i32 * max_match).max(0) / scoring.gaps.extend.max(1)) as usize;
 
     // Executor traceback matrix (trimmed to m×n by construction). The
-    // allocation is zero-initialized (lazily paged by the OS — the same
-    // way a cudaMalloc'd bin allocation costs nothing until written);
-    // written bytes carry a marker bit so untouched cells read back as
-    // unreachable.
+    // buffer is zeroed to exactly the cell count (a fresh allocation is
+    // lazily paged by the OS — the same way a cudaMalloc'd bin
+    // allocation costs nothing until written; a reused arena buffer
+    // keeps its capacity); written bytes carry a marker bit so untouched
+    // cells read back as unreachable.
     const TB_WRITTEN: u8 = 0x80;
-    let mut tbm: Vec<u8> = if cfg.record_traceback {
+    if cfg.record_traceback {
         let cells = m.checked_mul(n).expect("traceback matrix size overflow");
         assert!(
             cells <= 8 << 30,
             "executor traceback of {m}x{n} cells exceeds the model's allocation cap"
         );
-        vec![0u8; cells]
-    } else {
-        Vec::new()
-    };
+        tbm.clear();
+        tbm.resize(cells, 0);
+    }
 
     // Spill buffer: boundary column state per row. Strip 0's boundary is
     // matrix column 0 (analytic gap chain).
@@ -643,8 +676,30 @@ mod tests {
     }
 
     fn run(t: &[u8], q: &[u8], cfg: &WarpConfig) -> WarpExtension {
-        let mut shared = SharedMem::new(96 * 1024);
+        // Sized from the modeled device, not a hardcoded byte count.
+        let mut shared = SharedMem::for_device(&fastz_gpu_sim::DeviceSpec::rtx3080_ampere());
         warp_extend(t, q, &scoring(), cfg, &mut shared)
+    }
+
+    #[test]
+    fn reused_traceback_buffer_matches_fresh_allocation() {
+        // An arena-reused (dirty, over-capacity) buffer must be invisible
+        // to the DP: identical score, optimum, and edit script.
+        let sc = scoring();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let t = random_codes(250, 0.5, &mut rng);
+        let mut q = t.clone();
+        q.splice(100..104, []);
+        let insp = run(&t, &q, &inspector_cfg());
+        let exec_cfg = WarpConfig::executor(&OptFlags::fastz(), insp.best_i, insp.best_j);
+        let fresh = run(&t, &q, &exec_cfg);
+        let mut shared = SharedMem::for_device(&fastz_gpu_sim::DeviceSpec::rtx3080_ampere());
+        let mut dirty = vec![0xFFu8; 1 << 20];
+        let reused = warp_extend_in(&t, &q, &sc, &exec_cfg, &mut shared, &mut dirty);
+        assert_eq!(reused.best_score, fresh.best_score);
+        assert_eq!((reused.best_i, reused.best_j), (fresh.best_i, fresh.best_j));
+        assert_eq!(reused.ops, fresh.ops);
+        assert_eq!(reused.counters, fresh.counters);
     }
 
     #[test]

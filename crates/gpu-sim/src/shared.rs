@@ -6,6 +6,8 @@
 //! The model enforces the capacity a real SM would and tracks the
 //! high-water mark so occupancy can be computed from actual usage.
 
+use crate::device::DeviceSpec;
+
 /// A per-block shared-memory scratchpad.
 #[derive(Clone, Debug)]
 pub struct SharedMem {
@@ -22,6 +24,15 @@ impl SharedMem {
             high_water: 0,
             capacity,
         }
+    }
+
+    /// Creates a scratchpad with the device's per-SM shared capacity.
+    ///
+    /// This is the only correct way to size block scratch for a modeled
+    /// kernel: hardcoding a byte count silently under-reports the RTX
+    /// 3080's 128 KiB and silently over-allocates on a smaller part.
+    pub fn for_device(device: &DeviceSpec) -> SharedMem {
+        SharedMem::new(device.shared_kib_per_sm * 1024)
     }
 
     /// Capacity in bytes.
@@ -117,6 +128,31 @@ mod tests {
     fn over_capacity_panics() {
         let mut sm = SharedMem::new(256);
         sm.write_u8(256, 1);
+    }
+
+    #[test]
+    fn capacity_follows_the_device_spec() {
+        // Regression: the pipeline used to hardcode 96 KiB; the modeled
+        // RTX 3080 actually has 128 KiB per SM.
+        let ampere = SharedMem::for_device(&DeviceSpec::rtx3080_ampere());
+        assert_eq!(ampere.capacity(), 128 * 1024);
+        let pascal = SharedMem::for_device(&DeviceSpec::titan_x_pascal());
+        assert_eq!(pascal.capacity(), 96 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn small_device_rejects_legacy_96kib_assumption() {
+        // A hypothetical 48 KiB part must reject a reservation sized to
+        // the old hardcoded 96 KiB assumption instead of silently
+        // succeeding.
+        let small = DeviceSpec {
+            shared_kib_per_sm: 48,
+            ..DeviceSpec::rtx3080_ampere()
+        };
+        let mut sm = SharedMem::for_device(&small);
+        assert_eq!(sm.capacity(), 48 * 1024);
+        sm.reserve(96 * 1024);
     }
 
     #[test]

@@ -122,6 +122,29 @@ pub const DEVICE_MODELED_SECONDS: &str = "fastz_device_modeled_seconds";
 pub const STRAGGLER_DEVICE: &str = "fastz_straggler_device";
 
 // ---------------------------------------------------------------------------
+// Host execution pool (wall-clock-side telemetry; the modeled GPU time
+// is invariant to all of it)
+// ---------------------------------------------------------------------------
+
+/// Worker threads in the host execution pool.
+pub const POOL_WORKERS: &str = "fastz_pool_workers";
+/// Phases dispatched onto the pool.
+pub const POOL_PHASES_TOTAL: &str = "fastz_pool_phases_total";
+/// Problems executed by the pool.
+pub const POOL_TASKS_TOTAL: &str = "fastz_pool_tasks_total";
+/// Problem claims outside the claiming worker's home chunk.
+pub const POOL_STEALS_TOTAL: &str = "fastz_pool_steals_total";
+/// Fraction of worker-phase slots that ran at least one task, in [0, 1].
+pub const POOL_OCCUPANCY_RATIO: &str = "fastz_pool_occupancy_ratio";
+/// Arena traceback leases served without reallocating.
+pub const ARENA_TB_HITS_TOTAL: &str = "fastz_arena_tb_hits_total";
+/// Arena traceback leases that grew the buffer.
+pub const ARENA_TB_MISSES_TOTAL: &str = "fastz_arena_tb_misses_total";
+/// Modeled per-SM shared-memory capacity in bytes (from the device
+/// spec — 131072 on the RTX 3080, 98304 on the paper's Pascal/Volta).
+pub const SHARED_CAPACITY_BYTES: &str = "fastz_shared_capacity_bytes";
+
+// ---------------------------------------------------------------------------
 // Histograms
 // ---------------------------------------------------------------------------
 
