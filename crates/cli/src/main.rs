@@ -34,6 +34,11 @@
 //!                                    .prom, JSON report otherwise)
 //!   --trace-out FILE                 export the phase span timeline to FILE
 //!                                    as Chrome-trace JSON (chrome://tracing)
+//!   --sanitize                       run the shared-memory shadow sanitizer
+//!                                    (initcheck, racecheck, bank conflicts,
+//!                                    warp lints); any finding fails the run
+//!   --sanitize-out FILE              write the sanitizer report to FILE as
+//!                                    JSON (implies --sanitize)
 //!   --stats                          print pipeline statistics
 //! ```
 //!
@@ -72,6 +77,8 @@ struct Options {
     checkpoint: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    sanitize: bool,
+    sanitize_out: Option<String>,
 }
 
 impl Options {
@@ -81,7 +88,7 @@ impl Options {
          [--seed exact19|12of19] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
          [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
-         [--trace-out FILE] [--stats]"
+         [--trace-out FILE] [--sanitize] [--sanitize-out FILE] [--stats]"
     }
 
     fn parse(args: &[String]) -> Result<Options, String> {
@@ -105,6 +112,8 @@ impl Options {
             checkpoint: None,
             metrics_out: None,
             trace_out: None,
+            sanitize: false,
+            sanitize_out: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -149,6 +158,8 @@ impl Options {
                 "--checkpoint" => opts.checkpoint = Some(grab("--checkpoint")?),
                 "--metrics-out" => opts.metrics_out = Some(grab("--metrics-out")?),
                 "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
+                "--sanitize" => opts.sanitize = true,
+                "--sanitize-out" => opts.sanitize_out = Some(grab("--sanitize-out")?),
                 "--help" | "-h" => return Err(Options::usage().to_string()),
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other}\n{}", Options::usage()))
@@ -329,6 +340,7 @@ fn main() -> ExitCode {
             };
             let cfg = FastZConfig {
                 sim_threads: opts.sim_threads,
+                sanitize: opts.sanitize || opts.sanitize_out.is_some(),
                 ..FastZConfig::new(scoring, device)
             };
             let rcfg = ResilienceConfig {
@@ -386,6 +398,34 @@ fn main() -> ExitCode {
                 report.modeled_time_s,
                 report.host_wall.as_secs_f64()
             );
+            if let Some(srep) = &report.sanitize {
+                if let Some(path) = &opts.sanitize_out {
+                    if let Err(e) = std::fs::write(path, srep.to_json()) {
+                        eprintln!("fastz: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("fastz: sanitizer report written to {path}");
+                }
+                eprintln!(
+                    "fastz: sanitizer: {} findings over {} shared reads / {} writes \
+                     ({} barriers, {} clears)",
+                    srep.total_findings(),
+                    srep.shared_reads,
+                    srep.shared_writes,
+                    srep.barriers,
+                    srep.clears,
+                );
+                if !srep.is_clean() {
+                    for f in srep.findings.iter().take(8) {
+                        eprintln!(
+                            "fastz: sanitizer finding [{}] problem {} phase {} stage {}: {}",
+                            f.kind, f.problem, f.phase, f.stage, f.detail
+                        );
+                    }
+                    eprintln!("fastz: sanitizer found problems; failing the run");
+                    return ExitCode::FAILURE;
+                }
+            }
             if opts.fault_plan.is_some() || opts.checkpoint.is_some() || opts.stats {
                 eprintln!("fastz: resilience: {}", report.resilience.summary());
                 if report.resilience.resumed {
@@ -609,6 +649,20 @@ mod tests {
         let none = Options::parse(&[]).unwrap();
         assert_eq!(none.metrics_out, None);
         assert_eq!(none.trace_out, None);
+    }
+
+    #[test]
+    fn sanitize_flags() {
+        let o = Options::parse(&sv(&["--sanitize"])).unwrap();
+        assert!(o.sanitize);
+        assert_eq!(o.sanitize_out, None);
+        let o = Options::parse(&sv(&["--sanitize-out", "san.json"])).unwrap();
+        assert!(!o.sanitize);
+        assert_eq!(o.sanitize_out.as_deref(), Some("san.json"));
+        assert!(Options::parse(&sv(&["--sanitize-out"])).is_err());
+        let none = Options::parse(&[]).unwrap();
+        assert!(!none.sanitize);
+        assert_eq!(none.sanitize_out, None);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]
-//!             [--corrupt DELTA] [--fault-seed S] [--replay CATEGORY:SEED]
+//!             [--corrupt DELTA] [--fault-seed S] [--sanitize]
+//!             [--replay CATEGORY:SEED]
 //! ```
 //!
 //! Exit status: 0 when every invariant held, 1 when any divergence was
@@ -24,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
          \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
-         \x20                  [--replay CATEGORY:SEED]\n\
+         \x20                  [--sanitize] [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
          conservative, warp, and pipeline engines, checks the paper's\n\
@@ -37,8 +38,12 @@ fn usage() -> ! {
          results with complete fault accounting. --metrics-out re-runs\n\
          the metrics engine-invariance drill (warp vs scalar strip\n\
          widths, identical semantic counters) and writes the warp run's\n\
-         observability report as JSON. --replay re-runs one case by its\n\
-         reported category and seed."
+         observability report as JSON. --sanitize drills every corpus\n\
+         family through the warp engine on a shadow-sanitizer-attached\n\
+         arena (initcheck, racecheck, bank conflicts, warp lints) plus a\n\
+         sanitized pipeline workload, all of which must report zero\n\
+         findings. --replay re-runs one case by its reported category\n\
+         and seed."
     );
     std::process::exit(2);
 }
@@ -74,6 +79,7 @@ fn parse_args() -> Args {
                 args.config.fault_seed =
                     Some(value("--fault-seed").parse().unwrap_or_else(|_| usage()))
             }
+            "--sanitize" => args.config.sanitize = true,
             "--replay" => {
                 let spec = value("--replay");
                 let Some((cat, seed)) = spec.split_once(':') else {

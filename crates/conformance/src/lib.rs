@@ -18,6 +18,7 @@ pub mod invariants;
 pub mod oracle;
 pub mod pipeline;
 pub mod report;
+pub mod sanitize;
 
 pub use corpus::{bin_boundary_cases, fuzz_corpus, make_case, Case, Category};
 pub use engines::{run_case, CaseRun};
@@ -60,6 +61,11 @@ pub struct SuiteConfig {
     /// reproduce the fault-free alignments with complete fault
     /// accounting.
     pub fault_seed: Option<u64>,
+    /// Run the sanitizer drill (the CLI's `--sanitize`): every corpus
+    /// family through the warp engine on a sanitizer-attached arena,
+    /// plus a sanitized pipeline workload — all of which must report
+    /// zero findings and unperturbed functional output.
+    pub sanitize: bool,
 }
 
 impl Default for SuiteConfig {
@@ -71,6 +77,7 @@ impl Default for SuiteConfig {
             pipeline_workloads: 2,
             corrupt_warp_match: 0,
             fault_seed: None,
+            sanitize: false,
         }
     }
 }
@@ -120,6 +127,23 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
         report.cases += 1;
         report.checks += checks;
         report.divergences.extend(divergences);
+    }
+
+    // Sanitizer drill: all six corpus families through the warp engine
+    // on a sanitizer-attached arena, plus sanitized pipeline workloads.
+    if config.sanitize {
+        let (checks, divergences) =
+            sanitize::check_sanitize_corpus(config.seed, config.max_extent, &scoring);
+        report.cases += 1;
+        report.checks += checks;
+        report.divergences.extend(divergences);
+        for k in 0..config.pipeline_workloads.max(1) {
+            let (checks, divergences) =
+                sanitize::check_sanitize_pipeline(config.seed.wrapping_add(k as u64), &scoring);
+            report.cases += 1;
+            report.checks += checks;
+            report.divergences.extend(divergences);
+        }
     }
 
     if let Some(fault_seed) = config.fault_seed {

@@ -1,0 +1,238 @@
+//! Sanitizer conformance drill (the CLI's `--sanitize` switch).
+//!
+//! Two claims are checked. First, the warp engine's shared-memory
+//! choreography is clean: every corpus family — the five fuzz families
+//! plus the bin-boundary sweep — runs inspector and executor
+//! configurations on a sanitizer-attached scratchpad that is reused
+//! across cases exactly like a pool arena, and the drill demands zero
+//! findings (no uninitialized reads, no out-of-reservation reads, no
+//! cross-stage hazards, no fully serialized bank groups, no warp-lint
+//! violations). Second, the sanitizer is a pure observer: a sanitized
+//! full-pipeline run must reproduce the unsanitized run's alignments
+//! and bit-identical modeled time while itself coming back clean.
+
+use fastz_core::{run_fastz, warp_extend_in, FastZConfig, OptFlags, WarpConfig};
+use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::{DeviceSpec, SharedMem};
+use fastz_seed::{Workload, WorkloadParams};
+
+use crate::corpus::{bin_boundary_cases, fuzz_corpus, Case};
+use crate::engines::EXECUTOR_CELL_CAP;
+use crate::report::Divergence;
+
+/// Engine-level cases per drill: enough to cycle every fuzz family
+/// several times while keeping the drill fast next to the main suite.
+const ENGINE_CASES: usize = 30;
+
+/// Bin-boundary extents above this are skipped by the engine drill
+/// (the 32769-extent case alone runs ~10⁹ executor cells).
+const MAX_DRILL_EXTENT: usize = 2_049;
+
+fn diverge(case: &Case, message: String) -> Divergence {
+    Divergence {
+        category: case.category,
+        seed: case.seed,
+        invariant: "sanitize-clean",
+        engines: "warp engine under shadow sanitizer",
+        message,
+        first_divergent_cell: None,
+    }
+}
+
+/// Runs the warp engine over every corpus family on one shared,
+/// sanitizer-attached arena; returns `(checks_evaluated, divergences)`.
+pub fn check_sanitize_corpus(
+    master_seed: u64,
+    max_extent: usize,
+    scoring: &Scoring,
+) -> (usize, Vec<Divergence>) {
+    let flags = OptFlags::fastz();
+    let insp_cfg = WarpConfig::inspector(&flags);
+
+    // One arena for the whole drill, like a pool worker: stale bytes
+    // from every previous case are still in the scratchpad and the
+    // traceback buffer when the next case runs.
+    let mut shared = SharedMem::for_device(&DeviceSpec::rtx3080_ampere());
+    shared.attach_sanitizer();
+    let mut tbm = Vec::new();
+
+    let mut cases = fuzz_corpus(master_seed, ENGINE_CASES);
+    cases.extend(bin_boundary_cases(max_extent.min(MAX_DRILL_EXTENT)));
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+    for (idx, case) in cases.iter().enumerate() {
+        let t = case.target.as_slice();
+        let q = case.query.as_slice();
+
+        // Inspector side (eager window + wavefront).
+        shared.clear();
+        shared.sanitize_context("inspector", idx as u64);
+        let insp = warp_extend_in(t, q, scoring, &insp_cfg, &mut shared, &mut tbm);
+
+        // Executor side (trimmed, full traceback) when affordable.
+        if insp.best_i.saturating_mul(insp.best_j) <= EXECUTOR_CELL_CAP {
+            let exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
+            shared.clear();
+            shared.sanitize_context("executor", idx as u64);
+            let _ = warp_extend_in(t, q, scoring, &exec_cfg, &mut shared, &mut tbm);
+        }
+        checks += 1;
+    }
+
+    let report = shared
+        .take_sanitize_report()
+        .expect("drill arena has a sanitizer attached");
+    checks += 1;
+    if !report.is_clean() {
+        // Blame each finding on the case it occurred in (the problem id
+        // set above is the case index).
+        for f in &report.findings {
+            let case = &cases[(f.problem as usize).min(cases.len() - 1)];
+            out.push(diverge(
+                case,
+                format!(
+                    "sanitizer finding in phase `{}` stage `{}`: {}",
+                    f.phase, f.stage, f.detail
+                ),
+            ));
+        }
+        if report.findings.is_empty() {
+            // Counts overflowed the detail cap with nothing retained —
+            // still a failure, still reported.
+            out.push(diverge(
+                &cases[0],
+                format!(
+                    "{} sanitizer findings (details truncated)",
+                    report.total_findings()
+                ),
+            ));
+        }
+    }
+    (checks, out)
+}
+
+/// Runs the full pipeline twice — sanitized and not — on the standard
+/// conformance workload and demands a clean report plus identical
+/// functional output; returns `(checks_evaluated, divergences)`.
+pub fn check_sanitize_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) {
+    let pair = generate_pair(&PairParams {
+        label: "conformance".to_string(),
+        target_len: 30_000,
+        query_len: 30_000,
+        segments: 60,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 400,
+            ..WorkloadParams::default()
+        },
+    );
+    let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+    cfg.sim_threads = 1;
+    let base = run_fastz(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &cfg,
+    );
+    cfg.sanitize = true;
+    let san = run_fastz(
+        &pair.target,
+        &pair.query,
+        &wl.anchors,
+        wl.shape.span(),
+        &cfg,
+    );
+
+    let pdiverge = |invariant: &'static str, message: String| Divergence {
+        category: crate::corpus::Category::CleanHomology,
+        seed,
+        invariant,
+        engines: "pipeline (run_fastz, sanitize on vs off)",
+        message,
+        first_divergent_cell: None,
+    };
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+
+    checks += 1;
+    match &san.sanitize {
+        None => out.push(pdiverge(
+            "sanitize-report-present",
+            "sanitize: true produced no report".to_string(),
+        )),
+        Some(rep) => {
+            checks += 1;
+            if !rep.is_clean() {
+                for f in rep.findings.iter().take(8) {
+                    out.push(pdiverge(
+                        "sanitize-clean",
+                        format!(
+                            "pipeline finding (problem {}, phase `{}`, stage `{}`): {}",
+                            f.problem, f.phase, f.stage, f.detail
+                        ),
+                    ));
+                }
+            }
+            checks += 1;
+            if rep.shared_writes == 0 {
+                out.push(pdiverge(
+                    "sanitize-coverage",
+                    "sanitized pipeline observed no shared-memory traffic".to_string(),
+                ));
+            }
+        }
+    }
+
+    checks += 1;
+    if san.alignments != base.alignments {
+        out.push(pdiverge(
+            "sanitize-observer-alignments",
+            format!(
+                "sanitized run produced {} alignments, unsanitized {}",
+                san.alignments.len(),
+                base.alignments.len()
+            ),
+        ));
+    }
+    checks += 1;
+    if san.modeled_time_s.to_bits() != base.modeled_time_s.to_bits() {
+        out.push(pdiverge(
+            "sanitize-observer-modeled-time",
+            format!(
+                "modeled time diverged: sanitized {} vs unsanitized {}",
+                san.modeled_time_s, base.modeled_time_s
+            ),
+        ));
+    }
+    (checks, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite_scoring;
+
+    #[test]
+    fn corpus_drill_is_clean() {
+        let (checks, divergences) = check_sanitize_corpus(42, MAX_DRILL_EXTENT, &suite_scoring());
+        assert!(checks > ENGINE_CASES);
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+
+    #[test]
+    fn pipeline_drill_is_clean() {
+        let (checks, divergences) = check_sanitize_pipeline(42, &suite_scoring());
+        assert_eq!(checks, 5);
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+}

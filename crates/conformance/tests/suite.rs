@@ -18,6 +18,9 @@ fn small_config() -> SuiteConfig {
         // One fault drill rides along so the resilient-pipeline checks
         // stay exercised in tier-1 (CI's smoke job runs them at scale).
         fault_seed: Some(7),
+        // The sanitizer drill rides along too, exercising the
+        // `--sanitize` path through `run_suite` end to end.
+        sanitize: true,
     }
 }
 

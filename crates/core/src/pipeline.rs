@@ -71,6 +71,13 @@ pub struct FastZConfig {
     /// produce identical alignments (the conformance metrics drill
     /// exercises exactly this).
     pub strip_width: usize,
+    /// Attach a shadow sanitizer to every worker arena's scratchpad
+    /// (initcheck, racecheck, bank-conflict analysis, warp lints).
+    /// Off by default: the unattached path costs one null check per
+    /// shared-memory access. Alignments, bin counts, and modeled GPU
+    /// time are bit-identical either way — the sanitizer never touches
+    /// the work counters.
+    pub sanitize: bool,
 }
 
 impl FastZConfig {
@@ -85,6 +92,7 @@ impl FastZConfig {
             sim_threads: 0,
             host_dispatch: HostDispatch::default(),
             strip_width: WARP_SIZE,
+            sanitize: false,
         }
     }
 }
@@ -142,6 +150,10 @@ pub struct FastZReport {
     /// Fault accounting and recovery actions ([`ResilienceReport::default`]
     /// — all zeros — on a fault-free run without checkpointing).
     pub resilience: ResilienceReport,
+    /// Merged sanitizer findings (`None` unless [`FastZConfig::sanitize`]
+    /// was set). Sorted into canonical order, so the report is
+    /// bit-identical across `sim_threads` and dispatch modes.
+    pub sanitize: Option<fastz_gpu_sim::SanitizeReport>,
 }
 
 impl FastZReport {
@@ -381,7 +393,13 @@ pub fn run_fastz_observed<S: MetricsSink>(
     // onto the same pool, and each worker's arena survives from the
     // inspector into the executor.
     std::thread::scope(|scope| {
-        let pool = HostPool::new(scope, sim_threads(cfg), &cfg.device, cfg.host_dispatch);
+        let pool = HostPool::new(
+            scope,
+            sim_threads(cfg),
+            &cfg.device,
+            cfg.host_dispatch,
+            cfg.sanitize,
+        );
         run_fastz_pooled(target, query, anchors, seed_span, cfg, rcfg, sink, &pool)
     })
 }
@@ -457,6 +475,7 @@ fn run_fastz_pooled<S: MetricsSink>(
             .collect()
     } else {
         let outcomes = pool.run(n_problems, |idx, arena| {
+            arena.shared.sanitize_context("inspector", idx as u64);
             let anchor = anchors[idx / 2];
             let left = idx % 2 == 0;
             let (t, q) = side_slices(
@@ -585,6 +604,7 @@ fn run_fastz_pooled<S: MetricsSink>(
         } else {
             let results = pool.run(bin.len(), |k, arena| {
                 let idx = bin[k];
+                arena.shared.sanitize_context("executor", idx as u64);
                 let anchor = anchors[idx / 2];
                 let left = idx % 2 == 0;
                 let insp = &inspector_results[idx];
@@ -797,6 +817,10 @@ fn run_fastz_pooled<S: MetricsSink>(
         timeline.add("resilience", res.overhead_s);
     }
 
+    // Both phases have completed (`pool.run` blocks until workers drain
+    // their arenas), so the merged sanitizer report is final here.
+    let sanitize_report = pool.sanitize_report();
+
     // ---- Observability emit -----------------------------------------------
     // Everything below derives from deterministic work counters and the
     // modeled clock — never wall time — so a fixed-seed run exports
@@ -866,6 +890,33 @@ fn run_fastz_pooled<S: MetricsSink>(
             (cfg.device.shared_kib_per_sm * 1024) as f64,
         );
 
+        // Sanitizer counters, emitted on every observed run — zeros
+        // when the sanitizer is off — so the exported series set never
+        // depends on configuration (same discipline as FaultCounters).
+        let srep = sanitize_report.clone().unwrap_or_default();
+        for kind in fastz_gpu_sim::FindingKind::ALL {
+            sink.counter_add(&names::sanitize_kind(kind.name()), srep.count(kind));
+        }
+        sink.counter_add(names::SANITIZE_SHARED_READS_TOTAL, srep.shared_reads);
+        sink.counter_add(names::SANITIZE_SHARED_WRITES_TOTAL, srep.shared_writes);
+        sink.counter_add(names::SANITIZE_BARRIERS_TOTAL, srep.barriers);
+        for ph in ["inspector", "executor"] {
+            let b = srep.banks.get(ph).copied().unwrap_or_default();
+            sink.counter_add(
+                &names::phase(names::BANK_CONFLICTS_TOTAL, ph),
+                b.conflict_events,
+            );
+            sink.counter_add(
+                &names::phase(names::BANK_SERIALIZED_TOTAL, ph),
+                b.serialized_extra,
+            );
+            sink.gauge_set(
+                &names::phase(names::BANK_MAX_WAYS, ph),
+                f64::from(b.max_ways),
+            );
+            roofline::record_bank_pressure(sink, ph, b.groups, b.serialized_extra);
+        }
+
         // Span timeline: phases laid back-to-back on the logical clock.
         // The per-bin executor spans are an *attribution* view — each
         // slot's kernels re-timed alone — because the multi-stream model
@@ -928,6 +979,7 @@ fn run_fastz_pooled<S: MetricsSink>(
         inspector_alloc_bytes,
         executor_alloc_bytes,
         resilience: res,
+        sanitize: sanitize_report,
     }
 }
 
@@ -987,6 +1039,57 @@ mod tests {
         assert_eq!(report.bin_counts.total(), anchors.len());
         assert!(report.modeled_time_s > 0.0);
         assert_eq!(report.timeline.entries().len(), 3);
+    }
+
+    #[test]
+    fn sanitized_pipeline_is_clean_and_bit_identical() {
+        // The full pipeline under the sanitizer: zero findings (the
+        // engine's shared-memory choreography is correct), and the
+        // functional results and modeled time are bit-identical to the
+        // unsanitized run — the sanitizer observes, never perturbs.
+        let (t, q, anchors, span) = demo(103);
+        let base_cfg = config();
+        let base = run_fastz(&t, &q, &anchors, span, &base_cfg);
+        assert!(base.sanitize.is_none(), "off by default");
+
+        let san_cfg = FastZConfig {
+            sanitize: true,
+            ..config()
+        };
+        let san = run_fastz(&t, &q, &anchors, span, &san_cfg);
+        let rep = san
+            .sanitize
+            .as_ref()
+            .expect("sanitize: true yields a report");
+        assert!(rep.is_clean(), "findings: {:?}", rep.findings);
+        assert!(rep.shared_writes > 0, "the eager window was exercised");
+        assert!(rep.barriers > 0, "eager walks crossed the modeled barrier");
+        assert_eq!(san.alignments, base.alignments);
+        assert_eq!(san.bin_counts, base.bin_counts);
+        assert_eq!(
+            san.modeled_time_s.to_bits(),
+            base.modeled_time_s.to_bits(),
+            "sanitizer must not perturb modeled time"
+        );
+    }
+
+    #[test]
+    fn sanitized_report_is_invariant_across_sim_threads() {
+        let (t, q, anchors, span) = demo(104);
+        let run = |threads: usize, dispatch: HostDispatch| {
+            let cfg = FastZConfig {
+                sanitize: true,
+                sim_threads: threads,
+                host_dispatch: dispatch,
+                ..config()
+            };
+            run_fastz(&t, &q, &anchors, span, &cfg)
+                .sanitize
+                .expect("report")
+        };
+        let reference = run(1, HostDispatch::Stealing);
+        assert_eq!(reference, run(4, HostDispatch::Stealing));
+        assert_eq!(reference, run(3, HostDispatch::Static));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! DP assertion surfaces with its message.
 
 use crate::binning::BIN_BOUNDS;
-use fastz_gpu_sim::{DeviceSpec, SharedMem};
+use fastz_gpu_sim::{DeviceSpec, SanitizeReport, SharedMem};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -207,6 +207,11 @@ struct PoolShared {
     /// Set on the first panic; stops further claims in both modes.
     abort: AtomicBool,
     counters: PoolCounters,
+    /// Sanitizer findings merged from per-worker arenas at job end.
+    /// Worker arrival order is nondeterministic; `sanitize_report`
+    /// sorts before exposing, so the published report is invariant
+    /// across worker counts and dispatch modes.
+    sanitize: Mutex<SanitizeReport>,
 }
 
 /// The persistent host execution pool. One per `run_fastz*` call,
@@ -215,17 +220,22 @@ pub struct HostPool<'scope> {
     shared: Arc<PoolShared>,
     workers: usize,
     mode: HostDispatch,
+    sanitizing: bool,
     _scope: std::marker::PhantomData<&'scope ()>,
 }
 
 impl<'scope> HostPool<'scope> {
     /// Spawns `workers` persistent worker threads (clamped to ≥ 1) into
-    /// `scope`, each owning an [`Arena`] sized for `device`.
+    /// `scope`, each owning an [`Arena`] sized for `device`. With
+    /// `sanitize` set, every worker arena's scratchpad carries a shadow
+    /// sanitizer whose findings are drained into the pool-level report
+    /// at each job end.
     pub fn new<'env>(
         scope: &'scope Scope<'scope, 'env>,
         workers: usize,
         device: &DeviceSpec,
         mode: HostDispatch,
+        sanitize: bool,
     ) -> HostPool<'scope> {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
@@ -241,18 +251,33 @@ impl<'scope> HostPool<'scope> {
             next: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             counters: PoolCounters::default(),
+            sanitize: Mutex::new(SanitizeReport::default()),
         });
         for w in 0..workers {
             let shared = Arc::clone(&shared);
             let device = device.clone();
-            scope.spawn(move || worker_loop(w, workers, mode, &device, &shared));
+            scope.spawn(move || worker_loop(w, workers, mode, sanitize, &device, &shared));
         }
         HostPool {
             shared,
             workers,
             mode,
+            sanitizing: sanitize,
             _scope: std::marker::PhantomData,
         }
+    }
+
+    /// The merged sanitizer report, sorted into canonical order, or
+    /// `None` when the pool was built without sanitizing. Call after
+    /// the jobs of interest completed (`run` blocks until workers have
+    /// drained their arenas).
+    pub fn sanitize_report(&self) -> Option<SanitizeReport> {
+        if !self.sanitizing {
+            return None;
+        }
+        let mut rep = self.shared.sanitize.lock().unwrap().clone();
+        rep.sort();
+        Some(rep)
     }
 
     /// Worker threads in the pool.
@@ -354,10 +379,14 @@ fn worker_loop(
     ordinal: usize,
     workers: usize,
     mode: HostDispatch,
+    sanitize: bool,
     device: &DeviceSpec,
     shared: &PoolShared,
 ) {
     let mut arena = Arena::for_device(device);
+    if sanitize {
+        arena.shared.attach_sanitizer();
+    }
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -442,6 +471,9 @@ fn worker_loop(
         let (hits, misses) = arena.tb.take_delta();
         c.tb_hits.fetch_add(hits, Ordering::Relaxed);
         c.tb_misses.fetch_add(misses, Ordering::Relaxed);
+        if let Some(rep) = arena.shared.take_sanitize_report() {
+            shared.sanitize.lock().unwrap().merge(&rep);
+        }
 
         let mut st = shared.state.lock().unwrap();
         st.active -= 1;
@@ -460,7 +492,7 @@ pub fn with_pool<R>(
     body: impl FnOnce(&HostPool<'_>) -> R,
 ) -> R {
     std::thread::scope(|scope| {
-        let pool = HostPool::new(scope, workers, device, mode);
+        let pool = HostPool::new(scope, workers, device, mode, false);
         body(&pool)
     })
 }
@@ -619,6 +651,61 @@ mod tests {
             let s = pool.stats();
             assert!(s.busy_turns >= 1 && s.busy_turns <= 2);
             assert!(s.occupancy() <= 2.0 / 16.0 + 1e-12);
+        });
+    }
+
+    #[test]
+    fn unsanitized_pool_reports_none() {
+        with_pool(2, &device(), HostDispatch::Stealing, |pool| {
+            pool.run(8, |_, arena| {
+                arena.shared.write_u8(0, 1);
+            });
+            assert!(pool.sanitize_report().is_none());
+        });
+    }
+
+    #[test]
+    fn sanitized_pool_report_is_invariant_across_worker_counts() {
+        // Each problem plants one uninit read with its own problem id;
+        // the merged, sorted report must be identical whether one
+        // worker ran everything or four raced for the claims.
+        let run = |workers: usize| {
+            std::thread::scope(|scope| {
+                let pool = HostPool::new(scope, workers, &device(), HostDispatch::Stealing, true);
+                pool.run(16, |i, arena| {
+                    arena.shared.sanitize_context("inspector", i as u64);
+                    arena.shared.reserve(8);
+                    let _ = arena.shared.read_u8(i % 8); // reserved, never written
+                });
+                pool.sanitize_report()
+                    .expect("sanitizing pool yields a report")
+            })
+        };
+        let solo = run(1);
+        assert_eq!(solo.total_findings(), 16);
+        assert_eq!(solo.findings.len(), 16);
+        for f in &solo.findings {
+            assert_eq!(f.kind, fastz_gpu_sim::FindingKind::UninitRead);
+        }
+        let racy = run(4);
+        assert_eq!(solo, racy, "sorted reports must not depend on scheduling");
+    }
+
+    #[test]
+    fn sanitized_pool_is_clean_on_well_behaved_work() {
+        std::thread::scope(|scope| {
+            let pool = HostPool::new(scope, 3, &device(), HostDispatch::Static, true);
+            pool.run(12, |i, arena| {
+                arena.shared.sanitize_context("executor", i as u64);
+                arena.shared.write_u8(4, i as u8);
+                assert_eq!(arena.shared.read_u8(4), i as u8);
+            });
+            let rep = pool.sanitize_report().expect("report");
+            assert!(rep.is_clean(), "findings: {:?}", rep.findings);
+            assert_eq!(rep.shared_writes, 12);
+            assert_eq!(rep.shared_reads, 12);
+            // run_one clears the arena before every problem.
+            assert_eq!(rep.clears, 12);
         });
     }
 }

@@ -26,6 +26,7 @@ use fastz_align::trace::{CellScores, CellSink, NoTrace};
 use fastz_align::ydrop::{tb, NEG_INF};
 use fastz_align::{walk_traceback_with, EditOp};
 use fastz_genome::Scoring;
+use fastz_gpu_sim::sanitize::stage as san_stage;
 use fastz_gpu_sim::{shfl_up, splat, Lanes, SharedMem, WarpCounters, WARP_SIZE};
 
 /// Per-call configuration of the warp engine.
@@ -210,6 +211,12 @@ pub fn warp_extend_traced_in<K: CellSink>(
     let mut best_score = 0i32;
     let (mut best_i, mut best_j) = (0usize, 0usize);
 
+    // Racecheck accessor identity for the DP sweep (no-op unless a
+    // sanitizer is attached to the scratchpad). The sanitizer never
+    // touches `counters`, so modeled time is bit-identical either way.
+    shared.sanitize_stage(san_stage::WAVEFRONT);
+    let sanitizing = shared.sanitizer().is_some();
+
     if n == 0 || m == 0 {
         // Pure gap chains score negative; the origin is optimal.
         return WarpExtension {
@@ -376,8 +383,11 @@ pub fn warp_extend_traced_in<K: CellSink>(
             let i_left = shfl_up(&i_cur, 1, fill.i);
             let s_diag_v = shfl_up(&s_prev, 1, fill_diag);
             counters.shuffles += 3;
+            // One bank-conflict access group per wavefront step.
+            shared.sanitize_tick();
 
             let mut active_lanes = 0u64;
+            let mut active_mask = 0u32;
             let mut live_this_step = false;
             let mut step_max = NEG_INF;
             let mut any_dead = false;
@@ -393,6 +403,9 @@ pub fn warp_extend_traced_in<K: CellSink>(
                 let i_idx = row;
                 let j_idx = strip_base + l + 1;
                 active_lanes += 1;
+                if sanitizing {
+                    active_mask |= 1 << l;
+                }
                 explored_rows = explored_rows.max(i_idx);
 
                 // Gotoh recurrences (paper Fig. 1) on register state.
@@ -502,6 +515,15 @@ pub fn warp_extend_traced_in<K: CellSink>(
                 }
             }
 
+            if sanitizing {
+                if let Some(s) = shared.sanitizer() {
+                    // Ballot-mask / active-lane consistency: a step may
+                    // only activate lanes inside the strip's valid set.
+                    let valid_mask = ((1u64 << lanes_valid) - 1) as u32;
+                    s.check_ballot(active_mask, valid_mask);
+                }
+            }
+
             if active_lanes == 0 {
                 break;
             }
@@ -511,6 +533,9 @@ pub fn warp_extend_traced_in<K: CellSink>(
             counters.alu_ops += 9 * width as u64;
             if any_dead && any_live_lane {
                 counters.divergent_steps += 1;
+                if let Some(s) = shared.sanitizer() {
+                    s.note_divergent_step();
+                }
             }
             if cfg.cyclic_buffers {
                 // Only the boundary lane writes scores (12 B: S, I, D).
@@ -590,6 +615,11 @@ pub fn warp_extend_traced_in<K: CellSink>(
     // Eager traceback: finish in the inspector if the optimum fits the
     // shared-memory window.
     let eager_ops = if w > 0 && best_i <= w && best_j <= w {
+        // The CUDA kernel separates the wavefront writes from the
+        // in-window walk with __syncthreads(); model that barrier so
+        // the racecheck knows these reads cannot race the DP sweep.
+        shared.sanitize_barrier();
+        shared.sanitize_stage(san_stage::EAGER_TRACEBACK);
         let get = |i: usize, j: usize| -> u8 {
             if i == 0 && j == 0 {
                 tb::S_ORIGIN
@@ -598,6 +628,9 @@ pub fn warp_extend_traced_in<K: CellSink>(
             } else if j == 0 {
                 tb::S_FROM_D | if i > 1 { tb::D_EXTEND } else { 0 }
             } else {
+                // The walk is a single scalar lane: each read is its
+                // own access group, never a bank conflict.
+                shared.sanitize_tick();
                 shared.read_u8((i - 1) * w + (j - 1))
             }
         };

@@ -22,6 +22,7 @@ pub mod kernel;
 pub mod model;
 pub mod occupancy;
 pub mod roofline;
+pub mod sanitize;
 pub mod shared;
 pub mod stream;
 pub mod timeline;
@@ -38,6 +39,7 @@ pub use kernel::{time_kernel, KernelSpec, KernelTiming, WarpTask};
 pub use model::CpuModel;
 pub use occupancy::{occupancy, BlockResources, Occupancy, OccupancyLimit};
 pub use roofline::{analyze, Bound, RooflineReport};
+pub use sanitize::{Finding, FindingKind, NoSanitize, SanitizeReport, Sanitizer, ShadowSanitizer};
 pub use shared::SharedMem;
 pub use stream::{
     time_stream_pipeline, time_stream_pipeline_capped, time_stream_pipeline_resilient,

@@ -56,6 +56,26 @@ impl RooflineReport {
     }
 }
 
+/// Adds the sanitizer's shared-memory bank pressure for a phase to the
+/// roofline view: the serialization ratio (extra passes per access
+/// group) is the factor by which bank conflicts would stretch the
+/// shared-memory term on real hardware. The report stays advisory —
+/// modeled time never derates on it, keeping timing bit-identical with
+/// and without the sanitizer.
+pub fn record_bank_pressure<S: MetricsSink>(
+    sink: &mut S,
+    phase: &str,
+    groups: u64,
+    serialized_extra: u64,
+) {
+    let ratio = if groups == 0 {
+        0.0
+    } else {
+        serialized_extra as f64 / groups as f64
+    };
+    sink.gauge_set(&names::phase(names::BANK_SERIALIZATION_RATIO, phase), ratio);
+}
+
 /// Builds the report for a phase with measured `ops` and `dram_bytes`.
 pub fn analyze(device: &DeviceSpec, ops: u64, dram_bytes: u64) -> RooflineReport {
     // The paper quotes the RTX 3080's peak as 29.77 TFlop/s, an

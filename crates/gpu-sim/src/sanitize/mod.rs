@@ -1,0 +1,37 @@
+//! Sanitizer subsystem: the `compute-sanitizer` analog for the modeled
+//! device.
+//!
+//! Real CUDA punishes the bug classes FastZ's choreography depends on
+//! (paper §3.1.2–§3.1.4): reads of uninitialized or out-of-bounds
+//! shared memory, cross-stage hazards without a `__syncthreads()`,
+//! shuffle deltas past the warp width, and bank-conflict serialization.
+//! The simulator used to forgive all of them silently. This module adds
+//! the checking layer:
+//!
+//! - **initcheck** — a per-byte shadow map over `SharedMem` flags reads
+//!   of reserved-but-never-written bytes (CUDA `initcheck`).
+//! - **memcheck** — reads past the reservation extent are diagnosed
+//!   instead of silently returning zero (CUDA `memcheck`).
+//! - **racecheck** — generation/sync epochs track which kernel stage
+//!   last touched every byte; cross-stage RAW/WAR access without an
+//!   intervening barrier or `clear()` is a hazard (CUDA `racecheck`).
+//! - **bank-conflict analysis** — each access group maps to the 32-bank
+//!   model; n-way conflicts are counted per pipeline phase and exported
+//!   through the `MetricsSink` seam.
+//! - **warp lints** — shuffle-delta validation, ballot-mask /
+//!   active-lane consistency, and a divergence-depth bound.
+//!
+//! The layer follows the `NoObs` pattern: [`NoSanitize`] is the
+//! zero-cost default (`SharedMem` carries an unattached `Option`, one
+//! branch per access), and [`ShadowSanitizer`] is the recording
+//! implementation whose [`SanitizeReport`] exports JSON. The sanitizer
+//! never touches `WarpCounters`, so modeled GPU time is bit-identical
+//! whether or not it is attached.
+
+#![warn(clippy::must_use_candidate, clippy::missing_panics_doc)]
+
+mod report;
+mod shadow;
+
+pub use report::{BankStats, Finding, FindingKind, SanitizeReport, FINDINGS_PER_KIND_CAP};
+pub use shadow::{stage, NoSanitize, Sanitizer, ShadowSanitizer, MAX_DIVERGENCE_DEPTH, N_BANKS};

@@ -7,13 +7,20 @@
 //! high-water mark so occupancy can be computed from actual usage.
 
 use crate::device::DeviceSpec;
+use crate::sanitize::{SanitizeReport, Sanitizer, ShadowSanitizer};
 
 /// A per-block shared-memory scratchpad.
+///
+/// An optional [`ShadowSanitizer`] can be attached; when absent (the
+/// default), every access pays exactly one null check and nothing else,
+/// and modeled GPU time is bit-identical either way — the sanitizer
+/// never touches `WarpCounters`.
 #[derive(Clone, Debug)]
 pub struct SharedMem {
     data: Vec<u8>,
     high_water: usize,
     capacity: usize,
+    sanitize: Option<Box<ShadowSanitizer>>,
 }
 
 impl SharedMem {
@@ -23,6 +30,7 @@ impl SharedMem {
             data: Vec::new(),
             high_water: 0,
             capacity,
+            sanitize: None,
         }
     }
 
@@ -65,6 +73,9 @@ impl SharedMem {
     /// Writes one byte.
     #[inline]
     pub fn write_u8(&mut self, offset: usize, value: u8) {
+        if let Some(s) = &self.sanitize {
+            s.on_write(offset, 1);
+        }
         self.reserve(offset + 1);
         self.data[offset] = value;
     }
@@ -72,27 +83,113 @@ impl SharedMem {
     /// Reads one byte (0 if never written).
     #[inline]
     pub fn read_u8(&self, offset: usize) -> u8 {
+        if let Some(s) = &self.sanitize {
+            s.on_read(offset, 1, self.data.len());
+        }
         self.data.get(offset).copied().unwrap_or(0)
     }
 
     /// Writes a little-endian u32.
     pub fn write_u32(&mut self, offset: usize, value: u32) {
+        if let Some(s) = &self.sanitize {
+            s.on_write(offset, 4);
+        }
         self.reserve(offset + 4);
         self.data[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
     }
 
     /// Reads a little-endian u32.
+    ///
+    /// Extent handling is explicit: a read fully inside the current
+    /// reservation decodes the four stored bytes in one slice access; a
+    /// read straddling or past the extent zero-extends the missing
+    /// bytes. The zero-extension is the documented device model (shared
+    /// memory is zero-filled at reservation), but it usually indicates
+    /// a kernel bug — an attached sanitizer flags it as an
+    /// out-of-reservation read.
     pub fn read_u32(&self, offset: usize) -> u32 {
-        let mut b = [0u8; 4];
-        for (k, slot) in b.iter_mut().enumerate() {
-            *slot = self.read_u8(offset + k);
+        if let Some(s) = &self.sanitize {
+            s.on_read(offset, 4, self.data.len());
         }
-        u32::from_le_bytes(b)
+        match offset.checked_add(4) {
+            Some(end) if end <= self.data.len() => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.data[offset..end]);
+                u32::from_le_bytes(b)
+            }
+            _ => {
+                // Straddling / out-of-extent: decode what exists,
+                // zero-extend the rest byte-by-byte.
+                let mut b = [0u8; 4];
+                for (k, slot) in b.iter_mut().enumerate() {
+                    if let Some(&v) = offset.checked_add(k).and_then(|i| self.data.get(i)) {
+                        *slot = v;
+                    }
+                }
+                u32::from_le_bytes(b)
+            }
+        }
     }
 
     /// Clears contents (keeps capacity and the high-water mark).
     pub fn clear(&mut self) {
+        if let Some(s) = &self.sanitize {
+            s.on_clear();
+        }
         self.data.clear();
+    }
+
+    /// Attaches a fresh [`ShadowSanitizer`]; subsequent accesses are
+    /// checked. Replaces any previously attached sanitizer.
+    pub fn attach_sanitizer(&mut self) {
+        self.sanitize = Some(Box::new(ShadowSanitizer::new()));
+    }
+
+    /// The attached sanitizer, if any.
+    #[must_use]
+    pub fn sanitizer(&self) -> Option<&ShadowSanitizer> {
+        self.sanitize.as_deref()
+    }
+
+    /// Sets pipeline-phase / problem provenance on the attached
+    /// sanitizer (no-op when none is attached).
+    pub fn sanitize_context(&self, phase: &'static str, problem: u64) {
+        if let Some(s) = &self.sanitize {
+            s.set_context(phase, problem);
+        }
+    }
+
+    /// Sets the kernel stage used as the racecheck accessor identity
+    /// (no-op when no sanitizer is attached).
+    pub fn sanitize_stage(&self, stage: &'static str) {
+        if let Some(s) = &self.sanitize {
+            s.set_stage(stage);
+        }
+    }
+
+    /// Records a synchronization barrier between kernel stages: accesses
+    /// on opposite sides of a barrier never race (no-op when no
+    /// sanitizer is attached).
+    pub fn sanitize_barrier(&self) {
+        if let Some(s) = &self.sanitize {
+            s.barrier();
+        }
+    }
+
+    /// Marks a warp-step boundary so the bank-conflict model groups the
+    /// accesses of one step together (no-op when no sanitizer is
+    /// attached).
+    #[inline]
+    pub fn sanitize_tick(&self) {
+        if let Some(s) = &self.sanitize {
+            s.tick();
+        }
+    }
+
+    /// Drains the attached sanitizer's accumulated report, or `None`
+    /// when no sanitizer is attached.
+    pub fn take_sanitize_report(&mut self) -> Option<SanitizeReport> {
+        self.sanitize.as_ref().map(|s| s.take_report())
     }
 }
 
@@ -153,6 +250,64 @@ mod tests {
         let mut sm = SharedMem::for_device(&small);
         assert_eq!(sm.capacity(), 48 * 1024);
         sm.reserve(96 * 1024);
+    }
+
+    #[test]
+    fn read_u32_extent_handling_is_explicit() {
+        // Regression: read_u32 used to compose bytes via the
+        // OOB-tolerant read_u8, silently zero-extending straddles with
+        // no way to tell a partial read from stored zeros.
+        let mut sm = SharedMem::new(1024);
+        sm.write_u8(0, 0x11);
+        sm.write_u8(1, 0x22);
+        // Extent is 2: bytes 2..4 zero-extend.
+        assert_eq!(sm.read_u32(0), 0x0000_2211);
+        // Fully out-of-extent read is all zeros.
+        assert_eq!(sm.read_u32(512), 0);
+        // Fully in-extent read takes the slice fast path.
+        sm.write_u32(4, 0xDEAD_BEEF);
+        assert_eq!(sm.read_u32(4), 0xDEAD_BEEF);
+        // Near-usize::MAX offsets must not overflow the extent check.
+        assert_eq!(sm.read_u32(usize::MAX - 2), 0);
+    }
+
+    #[test]
+    fn sanitizer_flags_straddling_u32_read() {
+        use crate::sanitize::FindingKind;
+        let mut sm = SharedMem::new(1024);
+        sm.attach_sanitizer();
+        sm.sanitize_context("inspector", 3);
+        sm.write_u8(0, 0x11);
+        sm.write_u8(1, 0x22);
+        assert_eq!(sm.read_u32(0), 0x0000_2211);
+        let report = sm.take_sanitize_report().expect("sanitizer attached");
+        assert_eq!(report.count(FindingKind::OobRead), 1);
+        let f = &report.findings[0];
+        assert_eq!(f.offset, 0);
+        assert_eq!(f.phase, "inspector");
+        assert_eq!(f.problem, 3);
+    }
+
+    #[test]
+    fn unattached_scratchpad_reports_nothing() {
+        let mut sm = SharedMem::new(1024);
+        sm.write_u8(0, 1);
+        let _ = sm.read_u8(500);
+        assert!(sm.take_sanitize_report().is_none());
+        assert!(sm.sanitizer().is_none());
+    }
+
+    #[test]
+    fn cloned_scratchpad_starts_with_a_fresh_sanitizer() {
+        let mut sm = SharedMem::new(1024);
+        sm.attach_sanitizer();
+        let _ = sm.read_u8(7); // uninit read recorded on the original
+        let mut copy = sm.clone();
+        let report = copy.take_sanitize_report().expect("attachment is cloned");
+        assert!(
+            report.is_clean(),
+            "shadow history must not leak into clones"
+        );
     }
 
     #[test]

@@ -21,8 +21,22 @@ pub fn splat<T: Copy>(v: T) -> Lanes<T> {
 /// `__shfl_up_sync`: lane `l` receives lane `l - delta`'s value; the low
 /// `delta` lanes receive `fill` (CUDA leaves them unchanged; FastZ always
 /// feeds a boundary value there, which `fill` models directly).
+///
+/// `delta == WARP_SIZE` is legal and yields all-`fill` (every lane's
+/// source is below lane 0), matching the hardware, where a delta of
+/// exactly `warpSize` shifts every source out of range.
+///
+/// # Panics
+/// Panics with a shuffle-specific diagnostic if `delta > WARP_SIZE` —
+/// on real hardware `__shfl_up_sync` silently produces undefined lane
+/// values there, a bug class the simulator refuses to model quietly.
 #[inline]
 pub fn shfl_up<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
+    assert!(
+        delta <= WARP_SIZE,
+        "shfl_up delta {delta} exceeds WARP_SIZE ({WARP_SIZE}): \
+         __shfl_up_sync requires delta <= warpSize"
+    );
     let mut out = splat(fill);
     out[delta..].copy_from_slice(&v[..WARP_SIZE - delta]);
     out
@@ -30,8 +44,21 @@ pub fn shfl_up<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
 
 /// `__shfl_down_sync`: lane `l` receives lane `l + delta`'s value; the
 /// high `delta` lanes receive `fill`.
+///
+/// `delta == WARP_SIZE` is legal and yields all-`fill`, matching the
+/// hardware boundary case.
+///
+/// # Panics
+/// Panics with a shuffle-specific diagnostic if `delta > WARP_SIZE` —
+/// on real hardware `__shfl_down_sync` silently produces undefined lane
+/// values there, a bug class the simulator refuses to model quietly.
 #[inline]
 pub fn shfl_down<T: Copy>(v: &Lanes<T>, delta: usize, fill: T) -> Lanes<T> {
+    assert!(
+        delta <= WARP_SIZE,
+        "shfl_down delta {delta} exceeds WARP_SIZE ({WARP_SIZE}): \
+         __shfl_down_sync requires delta <= warpSize"
+    );
     let mut out = splat(fill);
     out[..WARP_SIZE - delta].copy_from_slice(&v[delta..]);
     out
@@ -134,6 +161,29 @@ mod tests {
         assert_eq!(s[28], 31);
         assert_eq!(s[29], 99);
         assert_eq!(s[31], 99);
+    }
+
+    #[test]
+    fn shfl_full_warp_delta_is_legal_and_all_fill() {
+        // delta == WARP_SIZE is the hardware boundary case: every
+        // source lane is out of range, so every lane gets the fill.
+        let v = iota();
+        assert_eq!(shfl_up(&v, WARP_SIZE, -7), splat(-7));
+        assert_eq!(shfl_down(&v, WARP_SIZE, 9), splat(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "shfl_up delta 33 exceeds WARP_SIZE (32)")]
+    fn shfl_up_past_warp_size_is_diagnosed() {
+        let v = iota();
+        let _ = shfl_up(&v, WARP_SIZE + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shfl_down delta 33 exceeds WARP_SIZE (32)")]
+    fn shfl_down_past_warp_size_is_diagnosed() {
+        let v = iota();
+        let _ = shfl_down(&v, WARP_SIZE + 1, 0);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Intentional-bug corpus for the sanitizer: toy kernels that plant
+//! each violation class and assert it is caught with correct
+//! provenance, plus clean toy kernels that must produce zero findings.
+//!
+//! These are mutation tests for the checker itself — if a future change
+//! stops any of these firing, the sanitizer has lost its teeth.
+
+use fastz_gpu_sim::sanitize::{stage, FindingKind, MAX_DIVERGENCE_DEPTH, N_BANKS};
+use fastz_gpu_sim::{ShadowSanitizer, SharedMem};
+
+fn sanitized_scratchpad() -> SharedMem {
+    let mut sm = SharedMem::new(128 * 1024);
+    sm.attach_sanitizer();
+    sm
+}
+
+/// Planted bug #1: a toy kernel reserves a tile, writes half of it, and
+/// reads a byte from the never-written half (initcheck class).
+#[test]
+fn planted_uninit_read_is_caught_with_provenance() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_context("inspector", 7);
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.reserve(64);
+    for off in 0..32 {
+        sm.write_u8(off, off as u8);
+    }
+    let v = sm.read_u8(40); // bug: byte 40 was reserved but never written
+    assert_eq!(v, 0, "the model still zero-fills; the sanitizer flags it");
+
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert_eq!(report.count(FindingKind::UninitRead), 1);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::UninitRead)
+        .expect("uninit finding recorded");
+    assert_eq!(f.offset, 40);
+    assert_eq!(f.phase, "inspector");
+    assert_eq!(f.stage, stage::WAVEFRONT);
+    assert_eq!(f.problem, 7);
+}
+
+/// Planted bug #2: a phase race — the eager-traceback stage reads a
+/// window byte the wavefront stage wrote, with the required barrier
+/// deleted (racecheck RAW class); the wavefront then overwrites a byte
+/// the walker read (WAR class).
+#[test]
+fn planted_phase_race_is_caught_both_directions() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_context("inspector", 11);
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.write_u8(5, 0xAA);
+
+    // Bug: stage switch without sm.sanitize_barrier().
+    sm.sanitize_stage(stage::EAGER_TRACEBACK);
+    let _ = sm.read_u8(5);
+
+    // And the reverse hazard: wavefront scribbles over what the walker
+    // just read, still with no barrier.
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.write_u8(5, 0xBB);
+
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert_eq!(report.count(FindingKind::RawHazard), 1);
+    assert_eq!(report.count(FindingKind::WarHazard), 1);
+    let raw = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::RawHazard)
+        .expect("RAW finding recorded");
+    assert_eq!(raw.offset, 5);
+    assert_eq!(raw.stage, stage::EAGER_TRACEBACK);
+    assert_eq!(raw.problem, 11);
+    assert!(raw.detail.contains("wavefront"), "names the writing stage");
+}
+
+/// The same access pattern with the barrier restored must be clean —
+/// the racecheck keys on the sync epoch, not on stage changes alone.
+#[test]
+fn barrier_separated_stages_do_not_race() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.write_u8(5, 0xAA);
+    sm.sanitize_barrier();
+    sm.sanitize_stage(stage::EAGER_TRACEBACK);
+    let _ = sm.read_u8(5);
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+/// `clear()` is as strong as a barrier for hazard purposes: a new
+/// generation cannot race with the old one (the Arena-reuse path).
+#[test]
+fn clear_separates_generations() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.write_u8(9, 1);
+    sm.clear();
+    sm.sanitize_stage(stage::EAGER_TRACEBACK);
+    sm.write_u8(9, 2);
+    let _ = sm.read_u8(9);
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert_eq!(report.count(FindingKind::RawHazard), 0);
+    assert_eq!(report.count(FindingKind::WarHazard), 0);
+    assert_eq!(report.clears, 1);
+}
+
+/// Arena reuse without re-initialization: reading the next problem's
+/// window before writing it must be flagged, even though the previous
+/// problem left bytes at those offsets (stale-data class from PR 4's
+/// buffer reuse).
+#[test]
+fn stale_read_after_clear_is_caught() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_context("inspector", 0);
+    for off in 0..16 {
+        sm.write_u8(off, 0xFF);
+    }
+    sm.clear();
+    sm.sanitize_context("inspector", 1);
+    sm.reserve(16); // next problem reserves but forgets to write
+    let v = sm.read_u8(3);
+    assert_eq!(v, 0, "reserve zero-fills, stale bytes never resurface");
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert_eq!(report.count(FindingKind::UninitRead), 1);
+    assert_eq!(
+        report.findings[0].problem, 1,
+        "blamed on the reusing problem"
+    );
+}
+
+/// Planted bug #3: a 32-way bank conflict — 32 lanes in one warp step
+/// each touch a different word that maps to bank 0 (stride of 128
+/// bytes), fully serializing the access group.
+#[test]
+fn planted_32_way_bank_conflict_is_caught() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_context("executor", 21);
+    sm.sanitize_stage(stage::WAVEFRONT);
+    sm.sanitize_tick();
+    for lane in 0..N_BANKS {
+        // word index = lane * 32 → bank (lane * 32) % 32 == 0 for all.
+        sm.write_u8(lane * 4 * N_BANKS, lane as u8);
+    }
+    sm.sanitize_tick(); // close the group
+
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert_eq!(report.count(FindingKind::BankConflict), 1);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::BankConflict)
+        .expect("bank-conflict finding recorded");
+    assert_eq!(f.phase, "executor");
+    assert_eq!(f.problem, 21);
+    assert!(f.detail.contains("32-way"), "detail: {}", f.detail);
+
+    let banks = report.banks.get("executor").expect("executor bank stats");
+    assert_eq!(banks.conflict_events, 1);
+    assert_eq!(banks.max_ways, 32);
+    assert_eq!(banks.serialized_extra, 31, "31 extra serialized passes");
+}
+
+/// The conflict-free contrast: 32 lanes touching 32 consecutive words
+/// hit 32 distinct banks — counted as a clean group, no findings.
+#[test]
+fn stride_one_word_access_is_conflict_free() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_context("executor", 0);
+    sm.sanitize_tick();
+    for lane in 0..N_BANKS {
+        sm.write_u8(lane * 4, 1); // word = lane → bank = lane
+    }
+    sm.sanitize_tick();
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert!(report.is_clean());
+    let banks = report.banks.get("executor").expect("executor bank stats");
+    assert_eq!(banks.conflict_events, 0);
+    assert_eq!(banks.max_ways, 1);
+}
+
+/// Same-word accesses in one step are a broadcast, never a conflict.
+#[test]
+fn same_word_access_is_a_broadcast() {
+    let mut sm = sanitized_scratchpad();
+    sm.sanitize_tick();
+    sm.write_u8(0, 1);
+    for _ in 0..31 {
+        let _ = sm.read_u8(0);
+    }
+    sm.sanitize_tick();
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert!(report.is_clean());
+    let banks = report.banks.get("").expect("default-phase bank stats");
+    assert_eq!(banks.max_ways, 1, "one distinct word = broadcast");
+}
+
+/// Ballot lint: a mask asserting a lane outside the active set is a
+/// consistency violation.
+#[test]
+fn ballot_inactive_lane_is_caught() {
+    let san = ShadowSanitizer::new();
+    san.set_context("inspector", 2);
+    san.check_ballot(0b1011, 0b0011); // bit 3 asserted but inactive
+    let report = san.take_report();
+    assert_eq!(report.count(FindingKind::BallotInactiveLane), 1);
+    assert!(report.findings[0].detail.contains("0x00000008"));
+
+    // Consistent masks are clean.
+    san.check_ballot(0b0011, 0b0111);
+    assert!(san.take_report().is_clean());
+}
+
+/// Divergence-depth lint: nesting past the reconvergence bound fires
+/// exactly once per crossing; flat divergence never does.
+#[test]
+fn divergence_depth_lint_fires_past_the_bound() {
+    let san = ShadowSanitizer::new();
+    for _ in 0..MAX_DIVERGENCE_DEPTH {
+        san.divergence_push(2);
+    }
+    let clean = san.report();
+    assert_eq!(clean.count(FindingKind::DivergenceDepth), 0);
+    assert_eq!(clean.max_divergence_depth, MAX_DIVERGENCE_DEPTH);
+
+    san.divergence_push(2); // one past the bound
+    let report = san.take_report();
+    assert_eq!(report.count(FindingKind::DivergenceDepth), 1);
+
+    // Flat engine-style divergent steps never accumulate depth.
+    let flat = ShadowSanitizer::new();
+    for _ in 0..1000 {
+        flat.note_divergent_step();
+    }
+    let report = flat.take_report();
+    assert!(report.is_clean());
+    assert_eq!(report.max_divergence_depth, 1);
+}
+
+/// A well-behaved toy kernel exercising every hook — reserve, write,
+/// barrier, stage switch, read, tick, clear — reports zero findings.
+#[test]
+fn clean_toy_kernel_has_zero_findings() {
+    let mut sm = sanitized_scratchpad();
+    for problem in 0..4u64 {
+        sm.sanitize_context("inspector", problem);
+        sm.sanitize_stage(stage::WAVEFRONT);
+        for step in 0..16usize {
+            sm.sanitize_tick();
+            for lane in 0..16usize {
+                sm.write_u8(step * 16 + lane, (step + lane) as u8);
+            }
+        }
+        sm.sanitize_barrier();
+        sm.sanitize_stage(stage::EAGER_TRACEBACK);
+        for off in (0..256).rev() {
+            let _ = sm.read_u8(off);
+        }
+        sm.clear();
+    }
+    let report = sm.take_sanitize_report().expect("sanitizer attached");
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.clears, 4);
+    assert_eq!(report.barriers, 4);
+    assert_eq!(report.shared_writes, 4 * 256);
+    assert_eq!(report.shared_reads, 4 * 256);
+}

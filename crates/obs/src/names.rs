@@ -145,6 +145,35 @@ pub const ARENA_TB_MISSES_TOTAL: &str = "fastz_arena_tb_misses_total";
 pub const SHARED_CAPACITY_BYTES: &str = "fastz_shared_capacity_bytes";
 
 // ---------------------------------------------------------------------------
+// Sanitizer (labels: kind = finding class, phase = pipeline phase).
+// All series are emitted on every observed run — zeros when the
+// sanitizer is off — so the exported series set never depends on
+// configuration.
+// ---------------------------------------------------------------------------
+
+/// Sanitizer findings by class (label `kind`: `uninit_read`,
+/// `oob_read`, `raw_hazard`, `war_hazard`, `bank_conflict`,
+/// `ballot_inactive_lane`, `divergence_depth`).
+pub const SANITIZE_FINDINGS_TOTAL: &str = "fastz_sanitize_findings_total";
+/// Shared-memory reads observed by the sanitizer.
+pub const SANITIZE_SHARED_READS_TOTAL: &str = "fastz_sanitize_shared_reads_total";
+/// Shared-memory writes observed by the sanitizer.
+pub const SANITIZE_SHARED_WRITES_TOTAL: &str = "fastz_sanitize_shared_writes_total";
+/// Kernel-stage barriers observed by the sanitizer.
+pub const SANITIZE_BARRIERS_TOTAL: &str = "fastz_sanitize_barriers_total";
+/// Warp-step access groups with a multi-word bank collision (label
+/// `phase`).
+pub const BANK_CONFLICTS_TOTAL: &str = "fastz_bank_conflicts_total";
+/// Extra serialized shared-memory passes, Σ over banks of (words − 1)
+/// (label `phase`).
+pub const BANK_SERIALIZED_TOTAL: &str = "fastz_bank_serialized_passes_total";
+/// Worst n-way bank conflict observed (label `phase`).
+pub const BANK_MAX_WAYS: &str = "fastz_bank_conflict_max_ways";
+/// Roofline view of bank pressure: extra serialized passes per access
+/// group — 0.0 is conflict-free tiling (label `phase`).
+pub const BANK_SERIALIZATION_RATIO: &str = "fastz_roofline_bank_serialization_ratio";
+
+// ---------------------------------------------------------------------------
 // Histograms
 // ---------------------------------------------------------------------------
 
@@ -176,6 +205,11 @@ pub fn fault(class: &str, kind: &str) -> String {
     format!("{FAULTS_TOTAL}{{class=\"{class}\",kind=\"{kind}\"}}")
 }
 
+/// `fastz_sanitize_findings_total{kind="<kind>"}` convenience.
+pub fn sanitize_kind(kind: &str) -> String {
+    labeled(SANITIZE_FINDINGS_TOTAL, "kind", kind)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +224,10 @@ mod tests {
         assert_eq!(
             fault("injected", "bit-flip"),
             "fastz_faults_total{class=\"injected\",kind=\"bit-flip\"}"
+        );
+        assert_eq!(
+            sanitize_kind("uninit_read"),
+            "fastz_sanitize_findings_total{kind=\"uninit_read\"}"
         );
     }
 

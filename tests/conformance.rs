@@ -19,6 +19,9 @@ fn engines_agree_on_a_small_fuzz_corpus() {
         // The fault drill runs in tier-1 via crates/core/tests/resilience.rs
         // and at full scale in CI's fault-injection job.
         fault_seed: None,
+        // The sanitizer drill runs in tier-1 via the fastz-conformance
+        // crate's own tests and at full scale in CI's sanitize job.
+        sanitize: false,
     });
     assert!(
         suite.is_clean(),
@@ -36,6 +39,7 @@ fn conformance_detects_a_corrupted_engine() {
         pipeline_workloads: 0,
         corrupt_warp_match: 1,
         fault_seed: None,
+        sanitize: false,
     });
     assert!(
         !suite.is_clean(),
