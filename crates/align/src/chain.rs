@@ -99,11 +99,10 @@ pub fn best_chain(alignments: &[Alignment], penalties: &ChainPenalties) -> Optio
         dp.push(best);
     }
 
-    // Best chain end, then backtrack.
-    let (mut k, _) = dp
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    // Best chain end, then backtrack. `total_cmp` keeps the selection
+    // total when a NaN penalty poisons the DP (a panicking
+    // `partial_cmp().unwrap()` here used to take the whole run down).
+    let (mut k, _) = dp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
     let score = dp[k];
     let mut members = vec![order[k]];
     while let Some(prev) = back[k] {
@@ -236,6 +235,34 @@ mod tests {
         let all: Vec<usize> = chains.iter().flat_map(|c| c.members.clone()).collect();
         let uniq: std::collections::HashSet<usize> = all.iter().copied().collect();
         assert_eq!(all.len(), uniq.len());
+    }
+
+    #[test]
+    fn nan_penalties_do_not_panic_the_chain_dp() {
+        // Regression (PR 6 float-ranking sweep): NaN join penalties make
+        // every join candidate NaN. The `cand > best` guard rejects those
+        // (NaN compares false), so each dp entry degrades to its block's
+        // own score — but the final ranking used to go through
+        // `partial_cmp().unwrap()`, a panic waiting for any NaN that does
+        // reach dp. `total_cmp` keeps the selection total either way.
+        let a = [block(0, 100, 0, 100, 1000), block(150, 250, 160, 260, 1200)];
+        let nan_penalties = ChainPenalties {
+            join: f64::NAN,
+            ..ChainPenalties::default()
+        };
+        let c = best_chain(&a, &nan_penalties).expect("chain still returned");
+        assert_eq!(c.members, vec![1], "no join is takeable; best block wins");
+        assert_eq!(c.score, 1200.0);
+        // And a NaN-ranked surface is ordered, not panicked on: feed the
+        // ranking NaN directly through an all-NaN gap penalty on blocks
+        // whose only chain is a join.
+        let nan_gaps = ChainPenalties {
+            target_gap: f64::NAN,
+            query_gap: f64::NAN,
+            join: f64::NAN,
+        };
+        let c2 = best_chain(&a, &nan_gaps).expect("chain still returned");
+        assert_eq!(c2.members, vec![1]);
     }
 
     #[test]

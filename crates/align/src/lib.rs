@@ -16,6 +16,7 @@ pub mod driver;
 pub mod extend;
 pub mod format;
 pub mod multicore;
+pub mod score;
 pub mod stats;
 pub mod strand;
 pub mod trace;

@@ -1,0 +1,105 @@
+//! Shared NEG_INF-floor score arithmetic.
+//!
+//! PR 1 added overflow clamps at the ydrop/warp store sites, each
+//! hand-rolled in place. This module is the single home for that
+//! discipline so the scalar engines and the warp engine's interpreter
+//! and SIMD backends clamp *identically* — a one-bit divergence at the
+//! lane-31 strip handoff would otherwise desynchronize the backends.
+//!
+//! Two operations cover every site:
+//!
+//! * [`clamp`] — floor a computed score at [`NEG_INF`]. Used at store
+//!   sites, where a live cell's I/D value may still be sentinel-derived
+//!   (`NEG_INF + k·extend`) and must not drift toward `i32::MIN`.
+//! * [`add_clamped`] — saturating add floored at [`NEG_INF`]. Used
+//!   where a gap chain is *synthesized* arithmetically (row-0 I chains,
+//!   strip-entry boundary scores `open + extend·(j−1)`) and the column
+//!   index is unbounded, so the raw add could wrap for extreme inputs.
+//!
+//! The Gotoh recurrence adds themselves stay raw on purpose: both
+//! operands are already clamped stored values, so a single add cannot
+//! wrap, and clamping *inside* the recurrence could flip the
+//! `extend >= open` tie-break (and hence the traceback byte) when both
+//! sides sit at the sentinel floor.
+
+use crate::ydrop::NEG_INF;
+
+/// Floors `v` at [`NEG_INF`] — the store-site clamp.
+#[inline(always)]
+pub fn clamp(v: i32) -> i32 {
+    v.max(NEG_INF)
+}
+
+/// `a + b`, saturating, floored at [`NEG_INF`].
+///
+/// For in-range scores this is exactly `a + b`; near `i32::MIN` the
+/// saturating add keeps the intermediate defined and the floor restores
+/// the engine's sentinel. Both backends use this same scalar form (the
+/// SIMD path applies it lane-wise), so clamped results are bit-equal.
+#[inline(always)]
+pub fn add_clamped(a: i32, b: i32) -> i32 {
+    a.saturating_add(b).max(NEG_INF)
+}
+
+/// `base + step·k`, saturating, floored at [`NEG_INF`] — the affine
+/// gap-chain form (`open_score + extend_score·(j−1)` in row 0 and at
+/// strip-entry boundaries).
+#[inline(always)]
+pub fn gap_chain(base: i32, step: i32, k: i32) -> i32 {
+    add_clamped(base, step.saturating_mul(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_adds_are_exact() {
+        assert_eq!(add_clamped(100, -15), 85);
+        assert_eq!(add_clamped(-30, -5), -35);
+        assert_eq!(add_clamped(0, 0), 0);
+        assert_eq!(clamp(42), 42);
+        assert_eq!(clamp(NEG_INF), NEG_INF);
+    }
+
+    #[test]
+    fn sentinel_plus_penalty_floors_at_neg_inf() {
+        // The dead-gap-chain case the clamps exist for: NEG_INF plus any
+        // bounded penalty must come back to the floor, not below it.
+        assert_eq!(add_clamped(NEG_INF, -5), NEG_INF);
+        assert_eq!(add_clamped(NEG_INF, -1_000_000), NEG_INF);
+        assert_eq!(add_clamped(NEG_INF, NEG_INF), NEG_INF);
+        // A positive score lifts the sentinel exactly as a raw add would.
+        assert_eq!(add_clamped(NEG_INF, 7), NEG_INF + 7);
+    }
+
+    #[test]
+    fn i32_min_adjacent_operands_do_not_wrap() {
+        // Regression (satellite of PR 6): operands adjacent to i32::MIN
+        // must saturate, never wrap to positive.
+        assert_eq!(add_clamped(i32::MIN, -1), NEG_INF);
+        assert_eq!(add_clamped(i32::MIN + 5, -10), NEG_INF);
+        assert_eq!(add_clamped(i32::MIN, i32::MIN), NEG_INF);
+        assert_eq!(add_clamped(i32::MIN + 1, 0), NEG_INF);
+        assert!(add_clamped(i32::MIN, -1) < 0, "no wraparound to positive");
+        assert_eq!(clamp(i32::MIN), NEG_INF);
+        assert_eq!(clamp(i32::MIN + 1), NEG_INF);
+    }
+
+    #[test]
+    fn gap_chain_matches_the_raw_form_in_range() {
+        let (so_se, se) = (-35, -5);
+        for j in 1..2000i32 {
+            assert_eq!(gap_chain(so_se, se, j - 1), so_se + se * (j - 1));
+        }
+    }
+
+    #[test]
+    fn gap_chain_saturates_on_astronomical_columns() {
+        // A column index large enough to wrap the multiply must floor at
+        // NEG_INF instead (the cell is dead either way; the invariant is
+        // that it stays a sentinel).
+        assert_eq!(gap_chain(-35, -5, i32::MAX), NEG_INF);
+        assert_eq!(gap_chain(i32::MIN, -5, 1_000_000), NEG_INF);
+    }
+}

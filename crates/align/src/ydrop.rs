@@ -19,6 +19,7 @@
 //!   exact mode's cells and can only find an equal or higher score.
 
 use crate::alignment::EditOp;
+use crate::score;
 use crate::trace::{CellScores, CellSink, NoTrace};
 use fastz_genome::Scoring;
 
@@ -292,7 +293,11 @@ pub fn ydrop_extend_traced<K: CellSink>(
                     tb_row.push(tb::S_ORIGIN);
                 }
             } else {
-                i_val = if j == 1 { so_se } else { i_val + se };
+                i_val = if j == 1 {
+                    so_se
+                } else {
+                    score::add_clamped(i_val, se)
+                };
                 s_val = i_val;
                 if want_traceback {
                     let mut byte = tb::S_FROM_I;
@@ -316,7 +321,7 @@ pub fn ydrop_extend_traced<K: CellSink>(
             d_prev.push(NEG_INF);
             j += 1;
             // Row 0's threshold: best score so far is 0 in both modes.
-            if j > n || (j >= 1 && so_se + se * (j as i32 - 1) < -ydrop) {
+            if j > n || (j >= 1 && score::gap_chain(so_se, se, j as i32 - 1) < -ydrop) {
                 break;
             }
         }
@@ -420,7 +425,7 @@ pub fn ydrop_extend_traced<K: CellSink>(
                     s_val > NEG_INF / 2,
                     "live cell ({i},{j}) carries a sentinel-derived S value {s_val}"
                 );
-                (s_val, i_val.max(NEG_INF), d_val.max(NEG_INF))
+                (s_val, score::clamp(i_val), score::clamp(d_val))
             };
             if !dead {
                 sink.record(

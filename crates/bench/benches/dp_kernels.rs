@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fastz_align::ydrop::{ydrop_extend, PruneMode};
 use fastz_align::{banded_extend, xdrop_extend};
-use fastz_core::{warp_extend, OptFlags, WarpConfig};
+use fastz_core::{warp_extend, OptFlags, WarpConfig, WavefrontBackend};
 use fastz_genome::evolve::random_codes;
 use fastz_genome::Scoring;
 use fastz_gpu_sim::SharedMem;
@@ -63,10 +63,15 @@ fn bench_warp_engine(c: &mut Criterion) {
     for len in [128usize, 1024, 8192] {
         let (t, q) = homologous_pair(len, 7 + len as u64);
         let insp = WarpConfig::inspector(&OptFlags::fastz());
+        let insp_simd = insp.with_backend(WavefrontBackend::Simd);
         let no_cyclic = WarpConfig::inspector(&OptFlags::base());
         g.bench_with_input(BenchmarkId::new("inspector", len), &len, |b, _| {
             let mut shared = SharedMem::new(96 * 1024);
             b.iter(|| warp_extend(&t, &q, &scoring, &insp, &mut shared).best_score)
+        });
+        g.bench_with_input(BenchmarkId::new("inspector_simd", len), &len, |b, _| {
+            let mut shared = SharedMem::new(96 * 1024);
+            b.iter(|| warp_extend(&t, &q, &scoring, &insp_simd, &mut shared).best_score)
         });
         g.bench_with_input(
             BenchmarkId::new("inspector_no_cyclic", len),
@@ -80,10 +85,19 @@ fn bench_warp_engine(c: &mut Criterion) {
         let mut shared = SharedMem::new(96 * 1024);
         let pre = warp_extend(&t, &q, &scoring, &insp, &mut shared);
         let exec = WarpConfig::executor(&OptFlags::fastz(), pre.best_i, pre.best_j);
+        let exec_simd = exec.with_backend(WavefrontBackend::Simd);
         g.bench_with_input(BenchmarkId::new("executor_trimmed", len), &len, |b, _| {
             let mut shared = SharedMem::new(96 * 1024);
             b.iter(|| warp_extend(&t, &q, &scoring, &exec, &mut shared).best_score)
         });
+        g.bench_with_input(
+            BenchmarkId::new("executor_trimmed_simd", len),
+            &len,
+            |b, _| {
+                let mut shared = SharedMem::new(96 * 1024);
+                b.iter(|| warp_extend(&t, &q, &scoring, &exec_simd, &mut shared).best_score)
+            },
+        );
     }
     g.finish();
 }

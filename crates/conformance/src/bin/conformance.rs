@@ -4,7 +4,7 @@
 //! ```text
 //! conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]
 //!             [--corrupt DELTA] [--fault-seed S] [--sanitize]
-//!             [--replay CATEGORY:SEED]
+//!             [--engine interpreter|simd] [--replay CATEGORY:SEED]
 //! ```
 //!
 //! Exit status: 0 when every invariant held, 1 when any divergence was
@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 
 use fastz_conformance::{replay, report, run_suite, Category, SuiteConfig};
+use fastz_core::WavefrontBackend;
 
 struct Args {
     config: SuiteConfig,
@@ -25,7 +26,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
          \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
-         \x20                  [--sanitize] [--replay CATEGORY:SEED]\n\
+         \x20                  [--sanitize] [--engine interpreter|simd]\n\
+         \x20                  [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
          conservative, warp, and pipeline engines, checks the paper's\n\
@@ -42,8 +44,10 @@ fn usage() -> ! {
          family through the warp engine on a shadow-sanitizer-attached\n\
          arena (initcheck, racecheck, bank conflicts, warp lints) plus a\n\
          sanitized pipeline workload, all of which must report zero\n\
-         findings. --replay re-runs one case by its reported category\n\
-         and seed."
+         findings. --engine picks the warp engine's wavefront backend\n\
+         (interpreter or simd) for the whole suite; every invariant must\n\
+         hold identically on either. --replay re-runs one case by its\n\
+         reported category and seed."
     );
     std::process::exit(2);
 }
@@ -80,6 +84,16 @@ fn parse_args() -> Args {
                     Some(value("--fault-seed").parse().unwrap_or_else(|_| usage()))
             }
             "--sanitize" => args.config.sanitize = true,
+            "--engine" => {
+                args.config.backend = match value("--engine").as_str() {
+                    "interpreter" => WavefrontBackend::Interpreter,
+                    "simd" => WavefrontBackend::Simd,
+                    other => {
+                        eprintln!("unknown engine {other} (want interpreter or simd)");
+                        usage();
+                    }
+                }
+            }
             "--replay" => {
                 let spec = value("--replay");
                 let Some((cat, seed)) = spec.split_once(':') else {

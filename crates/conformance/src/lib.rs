@@ -26,6 +26,7 @@ pub use invariants::{check_case, rescore_ops};
 pub use oracle::{oracle_extend, OracleRun};
 pub use report::{CellDiff, Divergence, SuiteReport};
 
+use fastz_core::WavefrontBackend;
 use fastz_genome::{GapPenalties, Scoring, SubstMatrix};
 
 /// The scoring scheme the suite runs under (match/mismatch 10/−15,
@@ -66,6 +67,11 @@ pub struct SuiteConfig {
     /// plus a sanitized pipeline workload — all of which must report
     /// zero findings and unperturbed functional output.
     pub sanitize: bool,
+    /// Wavefront backend the warp engine runs on throughout the suite
+    /// (the CLI's `--engine`). Every invariant must hold identically on
+    /// either backend, and the per-case backend-identity drill compares
+    /// the two directly regardless of this setting.
+    pub backend: WavefrontBackend,
 }
 
 impl Default for SuiteConfig {
@@ -78,6 +84,7 @@ impl Default for SuiteConfig {
             corrupt_warp_match: 0,
             fault_seed: None,
             sanitize: false,
+            backend: WavefrontBackend::default(),
         }
     }
 }
@@ -104,11 +111,21 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
     let mut cases = fuzz_corpus(config.seed, config.pairs);
     cases.extend(bin_boundary_cases(config.max_extent));
     for case in &cases {
-        let run = run_case(case, &scoring, &warp_scoring);
+        let run = engines::run_case_on(case, &scoring, &warp_scoring, config.backend);
         let (checks, divergences) = check_case(case, &run, &scoring);
         report.cases += 1;
         report.checks += checks;
         report.divergences.extend(divergences);
+
+        // Wavefront-backend identity drill: interpreter and SIMD must be
+        // bit-identical on every case (skipped under --corrupt, whose
+        // perturbed scoring targets the suite's own divergence plumbing,
+        // not the backend contract).
+        if config.corrupt_warp_match == 0 {
+            let (checks, divergences) = engines::check_backend_identity(case, &scoring);
+            report.checks += checks;
+            report.divergences.extend(divergences);
+        }
     }
 
     for k in 0..config.pipeline_workloads {
@@ -132,14 +149,28 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
     // Sanitizer drill: all six corpus families through the warp engine
     // on a sanitizer-attached arena, plus sanitized pipeline workloads.
     if config.sanitize {
+        let (checks, divergences) = sanitize::check_sanitize_corpus(
+            config.seed,
+            config.max_extent,
+            &scoring,
+            config.backend,
+        );
+        report.cases += 1;
+        report.checks += checks;
+        report.divergences.extend(divergences);
+        // Backend equality of the merged sanitizer reports (findings,
+        // provenance, traffic totals) over the same drill corpus.
         let (checks, divergences) =
-            sanitize::check_sanitize_corpus(config.seed, config.max_extent, &scoring);
+            sanitize::check_sanitize_backend_equality(config.seed, config.max_extent, &scoring);
         report.cases += 1;
         report.checks += checks;
         report.divergences.extend(divergences);
         for k in 0..config.pipeline_workloads.max(1) {
-            let (checks, divergences) =
-                sanitize::check_sanitize_pipeline(config.seed.wrapping_add(k as u64), &scoring);
+            let (checks, divergences) = sanitize::check_sanitize_pipeline(
+                config.seed.wrapping_add(k as u64),
+                &scoring,
+                config.backend,
+            );
             report.cases += 1;
             report.checks += checks;
             report.divergences.extend(divergences);

@@ -11,7 +11,7 @@
 //! full-pipeline run must reproduce the unsanitized run's alignments
 //! and bit-identical modeled time while itself coming back clean.
 
-use fastz_core::{run_fastz, warp_extend_in, FastZConfig, OptFlags, WarpConfig};
+use fastz_core::{run_fastz, warp_extend_in, FastZConfig, OptFlags, WarpConfig, WavefrontBackend};
 use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
 use fastz_genome::Scoring;
 use fastz_gpu_sim::{DeviceSpec, SharedMem};
@@ -40,15 +40,17 @@ fn diverge(case: &Case, message: String) -> Divergence {
     }
 }
 
-/// Runs the warp engine over every corpus family on one shared,
-/// sanitizer-attached arena; returns `(checks_evaluated, divergences)`.
-pub fn check_sanitize_corpus(
-    master_seed: u64,
-    max_extent: usize,
+/// Runs the corpus-drill loop — every case through inspector and
+/// (affordable) executor on one reused sanitizer-attached arena — under
+/// `backend`, returning the merged sanitizer report and the per-case
+/// inspector optima (for cross-backend functional comparison).
+fn run_corpus_drill(
+    cases: &[Case],
     scoring: &Scoring,
-) -> (usize, Vec<Divergence>) {
+    backend: WavefrontBackend,
+) -> (fastz_gpu_sim::SanitizeReport, Vec<(i32, usize, usize)>) {
     let flags = OptFlags::fastz();
-    let insp_cfg = WarpConfig::inspector(&flags);
+    let insp_cfg = WarpConfig::inspector(&flags).with_backend(backend);
 
     // One arena for the whole drill, like a pool worker: stale bytes
     // from every previous case are still in the scratchpad and the
@@ -56,12 +58,8 @@ pub fn check_sanitize_corpus(
     let mut shared = SharedMem::for_device(&DeviceSpec::rtx3080_ampere());
     shared.attach_sanitizer();
     let mut tbm = Vec::new();
+    let mut optima = Vec::with_capacity(cases.len());
 
-    let mut cases = fuzz_corpus(master_seed, ENGINE_CASES);
-    cases.extend(bin_boundary_cases(max_extent.min(MAX_DRILL_EXTENT)));
-
-    let mut out = Vec::new();
-    let mut checks = 0;
     for (idx, case) in cases.iter().enumerate() {
         let t = case.target.as_slice();
         let q = case.query.as_slice();
@@ -70,20 +68,38 @@ pub fn check_sanitize_corpus(
         shared.clear();
         shared.sanitize_context("inspector", idx as u64);
         let insp = warp_extend_in(t, q, scoring, &insp_cfg, &mut shared, &mut tbm);
+        optima.push((insp.best_score, insp.best_i, insp.best_j));
 
         // Executor side (trimmed, full traceback) when affordable.
         if insp.best_i.saturating_mul(insp.best_j) <= EXECUTOR_CELL_CAP {
-            let exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j);
+            let exec_cfg =
+                WarpConfig::executor(&flags, insp.best_i, insp.best_j).with_backend(backend);
             shared.clear();
             shared.sanitize_context("executor", idx as u64);
             let _ = warp_extend_in(t, q, scoring, &exec_cfg, &mut shared, &mut tbm);
         }
-        checks += 1;
     }
 
     let report = shared
         .take_sanitize_report()
         .expect("drill arena has a sanitizer attached");
+    (report, optima)
+}
+
+/// Runs the warp engine over every corpus family on one shared,
+/// sanitizer-attached arena; returns `(checks_evaluated, divergences)`.
+pub fn check_sanitize_corpus(
+    master_seed: u64,
+    max_extent: usize,
+    scoring: &Scoring,
+    backend: WavefrontBackend,
+) -> (usize, Vec<Divergence>) {
+    let mut cases = fuzz_corpus(master_seed, ENGINE_CASES);
+    cases.extend(bin_boundary_cases(max_extent.min(MAX_DRILL_EXTENT)));
+
+    let mut out = Vec::new();
+    let mut checks = cases.len();
+    let (report, _) = run_corpus_drill(&cases, scoring, backend);
     checks += 1;
     if !report.is_clean() {
         // Blame each finding on the case it occurred in (the problem id
@@ -113,10 +129,60 @@ pub fn check_sanitize_corpus(
     (checks, out)
 }
 
+/// Runs the full corpus drill once per wavefront backend and demands
+/// that the two merged sanitizer reports — findings, their phase /
+/// stage / problem provenance, and the traffic totals — are equal, and
+/// that the per-case inspector optima match; returns
+/// `(checks_evaluated, divergences)`.
+pub fn check_sanitize_backend_equality(
+    master_seed: u64,
+    max_extent: usize,
+    scoring: &Scoring,
+) -> (usize, Vec<Divergence>) {
+    let mut cases = fuzz_corpus(master_seed, ENGINE_CASES);
+    cases.extend(bin_boundary_cases(max_extent.min(MAX_DRILL_EXTENT)));
+
+    let (rep_interp, opt_interp) = run_corpus_drill(&cases, scoring, WavefrontBackend::Interpreter);
+    let (rep_simd, opt_simd) = run_corpus_drill(&cases, scoring, WavefrontBackend::Simd);
+
+    let mut out = Vec::new();
+    let mut checks = 0;
+    checks += 1;
+    if rep_interp != rep_simd {
+        out.push(diverge(
+            &cases[0],
+            format!(
+                "sanitizer reports differ between backends: interpreter {:?} vs simd {:?}",
+                rep_interp, rep_simd
+            ),
+        ));
+    }
+    checks += 1;
+    if opt_interp != opt_simd {
+        let first = opt_interp
+            .iter()
+            .zip(&opt_simd)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        out.push(diverge(
+            &cases[first.min(cases.len() - 1)],
+            format!(
+                "sanitized inspector optima diverge at case {first}: {:?} vs {:?}",
+                opt_interp[first], opt_simd[first]
+            ),
+        ));
+    }
+    (checks, out)
+}
+
 /// Runs the full pipeline twice — sanitized and not — on the standard
 /// conformance workload and demands a clean report plus identical
 /// functional output; returns `(checks_evaluated, divergences)`.
-pub fn check_sanitize_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) {
+pub fn check_sanitize_pipeline(
+    seed: u64,
+    scoring: &Scoring,
+    backend: WavefrontBackend,
+) -> (usize, Vec<Divergence>) {
     let pair = generate_pair(&PairParams {
         label: "conformance".to_string(),
         target_len: 30_000,
@@ -136,6 +202,7 @@ pub fn check_sanitize_pipeline(seed: u64, scoring: &Scoring) -> (usize, Vec<Dive
     );
     let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
     cfg.sim_threads = 1;
+    cfg.backend = backend;
     let base = run_fastz(
         &pair.target,
         &pair.query,
@@ -224,15 +291,28 @@ mod tests {
 
     #[test]
     fn corpus_drill_is_clean() {
-        let (checks, divergences) = check_sanitize_corpus(42, MAX_DRILL_EXTENT, &suite_scoring());
-        assert!(checks > ENGINE_CASES);
-        assert!(divergences.is_empty(), "{divergences:?}");
+        for backend in [WavefrontBackend::Interpreter, WavefrontBackend::Simd] {
+            let (checks, divergences) =
+                check_sanitize_corpus(42, MAX_DRILL_EXTENT, &suite_scoring(), backend);
+            assert!(checks > ENGINE_CASES);
+            assert!(divergences.is_empty(), "{backend:?}: {divergences:?}");
+        }
     }
 
     #[test]
     fn pipeline_drill_is_clean() {
-        let (checks, divergences) = check_sanitize_pipeline(42, &suite_scoring());
-        assert_eq!(checks, 5);
+        for backend in [WavefrontBackend::Interpreter, WavefrontBackend::Simd] {
+            let (checks, divergences) = check_sanitize_pipeline(42, &suite_scoring(), backend);
+            assert_eq!(checks, 5);
+            assert!(divergences.is_empty(), "{backend:?}: {divergences:?}");
+        }
+    }
+
+    #[test]
+    fn backend_reports_are_equal() {
+        let (checks, divergences) =
+            check_sanitize_backend_equality(42, MAX_DRILL_EXTENT, &suite_scoring());
+        assert_eq!(checks, 2);
         assert!(divergences.is_empty(), "{divergences:?}");
     }
 }

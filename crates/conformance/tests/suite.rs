@@ -21,6 +21,7 @@ fn small_config() -> SuiteConfig {
         // The sanitizer drill rides along too, exercising the
         // `--sanitize` path through `run_suite` end to end.
         sanitize: true,
+        backend: fastz_core::WavefrontBackend::default(),
     }
 }
 

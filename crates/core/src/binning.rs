@@ -120,6 +120,44 @@ mod tests {
         assert_eq!(classify(32769), BinClass::Overflow);
     }
 
+    /// The warp and SIMD paths both pad work to 32-lane multiples.
+    /// Classification happens on the raw optimal extent *before* any
+    /// padding (`pipeline.rs` calls `classify(r.extent())`), and every
+    /// executor bound is itself a multiple of the warp width — so even
+    /// if a padded length were classified, an extent landing exactly on
+    /// 512/2048/8192/32768 (or anywhere else past the eager window)
+    /// could never cross a bin edge. Pinned here so a future bound
+    /// change that breaks the alignment fails loudly. (The interpreter
+    /// and SIMD backends classify identically by construction — they
+    /// share this code and the pipeline's backend-invariance test
+    /// compares `bin_counts` across backends directly.)
+    #[test]
+    fn warp_aligned_padding_never_changes_the_bin() {
+        for &bound in &BIN_BOUNDS {
+            assert_eq!(bound % 32, 0, "bound {bound} is not warp-aligned");
+        }
+        let pad32 = |e: usize| (e + 31) & !31;
+        for extent in (EAGER_BOUND + 1)..=(BIN_BOUNDS[3] + 64) {
+            assert_eq!(
+                classify(pad32(extent)),
+                classify(extent),
+                "extent {extent} changes bin when padded to {}",
+                pad32(extent)
+            );
+        }
+    }
+
+    /// Executor allocations are whole warps: the matrix dimension the
+    /// bin reserves divides evenly into 32-lane strips, so the last
+    /// strip of a bin-boundary problem is full, not ragged.
+    #[test]
+    fn executor_allocations_are_warp_aligned() {
+        for i in 0..BIN_BOUNDS.len() {
+            assert_eq!(bin_allocation(BinClass::Bin(i)) % 32, 0, "bin {i}");
+        }
+        assert_eq!(bin_allocation(BinClass::Overflow) % 32, 0);
+    }
+
     #[test]
     fn bins_scale_by_4x() {
         // §3.3: bin boundaries use a 4× scaling factor.

@@ -18,6 +18,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod resilient;
 pub mod warp_engine;
+pub mod wavefront_step;
 
 pub use ablation::OptFlags;
 pub use binning::{bin_allocation, classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
@@ -33,5 +34,6 @@ pub use pool::{Arena, HostDispatch, HostPool, PoolStats};
 pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
 pub use warp_engine::{
     warp_extend, warp_extend_in, warp_extend_traced, warp_extend_traced_in, WarpConfig,
-    WarpExtension,
+    WarpExtension, WavefrontBackend,
 };
+pub use wavefront_step::{step_interpreter, step_simd, StepIn, StepOut};

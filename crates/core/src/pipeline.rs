@@ -13,7 +13,7 @@ use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
 use crate::cost::price_task;
 use crate::pool::{HostDispatch, HostPool};
 use crate::resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
-use crate::warp_engine::{warp_extend_in, WarpConfig, WarpExtension};
+use crate::warp_engine::{warp_extend_in, WarpConfig, WarpExtension, WavefrontBackend};
 use fastz_align::{push_op, Alignment, EditOp};
 use fastz_genome::{Scoring, Sequence};
 use fastz_gpu_sim::fault::{scope, FaultKind, FaultSite};
@@ -71,6 +71,12 @@ pub struct FastZConfig {
     /// produce identical alignments (the conformance metrics drill
     /// exercises exactly this).
     pub strip_width: usize,
+    /// Host realization of the warp engine's per-step lane arithmetic
+    /// (scalar interpreter or 32-wide host SIMD). Another wall-clock-only
+    /// knob: alignments, bin counts, sanitizer findings, and modeled GPU
+    /// time are bit-identical across backends, so the backend does not
+    /// enter the checkpoint fingerprint.
+    pub backend: WavefrontBackend,
     /// Attach a shadow sanitizer to every worker arena's scratchpad
     /// (initcheck, racecheck, bank-conflict analysis, warp lints).
     /// Off by default: the unattached path costs one null check per
@@ -92,6 +98,7 @@ impl FastZConfig {
             sim_threads: 0,
             host_dispatch: HostDispatch::default(),
             strip_width: WARP_SIZE,
+            backend: WavefrontBackend::default(),
             sanitize: false,
         }
     }
@@ -465,7 +472,9 @@ fn run_fastz_pooled<S: MetricsSink>(
     };
 
     // ---- Inspector phase -------------------------------------------------
-    let insp_cfg = WarpConfig::inspector(&flags).with_strip_width(strip_width);
+    let insp_cfg = WarpConfig::inspector(&flags)
+        .with_strip_width(strip_width)
+        .with_backend(cfg.backend);
     let restored_inspector =
         ckpt.inspector_done && (0..n_problems).all(|i| ckpt.inspector.contains_key(&i));
     let inspector_results: Vec<SideResult> = if restored_inspector {
@@ -618,7 +627,8 @@ fn run_fastz_pooled<S: MetricsSink>(
                     &mut arena.rev,
                 );
                 let mut exec_cfg = WarpConfig::executor(&flags, insp.best_i, insp.best_j)
-                    .with_strip_width(strip_width);
+                    .with_strip_width(strip_width)
+                    .with_backend(cfg.backend);
                 if !flags.executor_trimming {
                     // Untrimmed executor recomputes the whole search space the
                     // inspector explored, with traceback everywhere (Fig 9
@@ -1268,6 +1278,58 @@ mod tests {
                     reference.modeled_time_s.to_bits(),
                     "modeled time drifted at {threads} threads / {dispatch:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_invariant_across_wavefront_backends() {
+        // The SIMD backend's contract mirrors sim_threads/dispatch: a
+        // pure wall-clock knob. Everything observable in the report —
+        // alignments, bin counts, per-kernel counter totals, and the
+        // modeled time's exact bits — matches the interpreter, across
+        // thread counts, dispatch modes, and strip widths.
+        let (t, q, anchors, span) = demo(108);
+        let reference = run_fastz(&t, &q, &anchors, span, &config());
+        for (threads, dispatch) in [
+            (1, crate::pool::HostDispatch::Stealing),
+            (0, crate::pool::HostDispatch::Stealing),
+            (0, crate::pool::HostDispatch::Static),
+        ] {
+            for strip_width in [32usize, 5] {
+                let cfg = FastZConfig {
+                    backend: WavefrontBackend::Simd,
+                    sim_threads: threads,
+                    host_dispatch: dispatch,
+                    strip_width,
+                    ..config()
+                };
+                let base = FastZConfig {
+                    backend: WavefrontBackend::Interpreter,
+                    ..cfg.clone()
+                };
+                let simd = run_fastz(&t, &q, &anchors, span, &cfg);
+                let interp = run_fastz(&t, &q, &anchors, span, &base);
+                assert_eq!(simd.alignments, interp.alignments);
+                assert_eq!(simd.bin_counts, interp.bin_counts);
+                let kern = |ks: &[KernelSpec]| -> Vec<(String, Vec<fastz_gpu_sim::WarpTask>)> {
+                    ks.iter()
+                        .map(|k| (k.name.clone(), k.tasks.clone()))
+                        .collect()
+                };
+                assert_eq!(
+                    kern(&simd.inspector_kernels),
+                    kern(&interp.inspector_kernels)
+                );
+                assert_eq!(kern(&simd.executor_kernels), kern(&interp.executor_kernels));
+                assert_eq!(
+                    simd.modeled_time_s.to_bits(),
+                    interp.modeled_time_s.to_bits(),
+                    "modeled time drifted at {threads} threads / {dispatch:?} / width {strip_width}"
+                );
+                if strip_width == 32 && threads == 1 {
+                    assert_eq!(simd.alignments, reference.alignments);
+                }
             }
         }
     }

@@ -22,12 +22,29 @@
 //! returns the same or an occasionally higher score (§3.4).
 
 use crate::ablation::OptFlags;
+use crate::wavefront_step::{step_interpreter, step_simd, StepIn};
+use fastz_align::score;
 use fastz_align::trace::{CellScores, CellSink, NoTrace};
 use fastz_align::ydrop::{tb, NEG_INF};
 use fastz_align::{walk_traceback_with, EditOp};
 use fastz_genome::Scoring;
 use fastz_gpu_sim::sanitize::stage as san_stage;
-use fastz_gpu_sim::{shfl_up, splat, Lanes, SharedMem, WarpCounters, WARP_SIZE};
+use fastz_gpu_sim::{lanes32, shfl_up, splat, Lanes, SharedMem, WarpCounters, WARP_SIZE};
+
+/// Which host realization of the 32-lane wavefront executes each step.
+///
+/// Both backends run the identical step semantics (the kernels live in
+/// [`crate::wavefront_step`]); every observable output — alignments, bin
+/// counts, counters, sanitizer findings, modeled-GPU-time bits — is
+/// bit-identical between them. The choice only affects host wall-clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WavefrontBackend {
+    /// Scalar lane-by-lane interpretation (the reference semantics).
+    #[default]
+    Interpreter,
+    /// 32-wide host-SIMD vectors via [`fastz_gpu_sim::lanes32`].
+    Simd,
+}
 
 /// Per-call configuration of the warp engine.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +67,10 @@ pub struct WarpConfig {
     /// is strip-mined — which the conformance suite checks by sweeping
     /// widths.
     pub strip_width: usize,
+    /// Host realization of the per-step lane arithmetic (interpreter or
+    /// SIMD). The result must not depend on this either — both backends
+    /// are bit-identical by contract.
+    pub backend: WavefrontBackend,
 }
 
 impl WarpConfig {
@@ -62,6 +83,7 @@ impl WarpConfig {
             max_rows: usize::MAX,
             max_cols: usize::MAX,
             strip_width: WARP_SIZE,
+            backend: WavefrontBackend::default(),
         }
     }
 
@@ -80,6 +102,7 @@ impl WarpConfig {
             max_rows,
             max_cols,
             strip_width: WARP_SIZE,
+            backend: WavefrontBackend::default(),
         }
     }
 
@@ -89,6 +112,11 @@ impl WarpConfig {
             strip_width: width,
             ..self
         }
+    }
+
+    /// The same configuration running on `backend`.
+    pub fn with_backend(self, backend: WavefrontBackend) -> WarpConfig {
+        WarpConfig { backend, ..self }
     }
 }
 
@@ -231,12 +259,14 @@ pub fn warp_extend_traced_in<K: CellSink>(
         };
     }
 
-    // Row-0 boundary chain value at column j.
+    // Row-0 boundary chain value at column j. Saturating-clamped gap
+    // arithmetic: a chain long enough to overflow i32 must floor at the
+    // NEG_INF sentinel, not wrap (crates/align score module docs).
     let r0 = |j: usize| -> i32 {
         if j == 0 {
             0
         } else {
-            so_se + se * (j as i32 - 1)
+            score::gap_chain(so_se, se, j as i32 - 1)
         }
     };
 
@@ -276,7 +306,7 @@ pub fn warp_extend_traced_in<K: CellSink>(
                 Spill { s: 0, i: NEG_INF }
             } else {
                 Spill {
-                    s: so_se + se * (i as i32 - 1),
+                    s: score::gap_chain(so_se, se, i as i32 - 1),
                     i: NEG_INF,
                 }
             }
@@ -369,169 +399,165 @@ pub fn warp_extend_traced_in<K: CellSink>(
         let mut spill_live_ptr = row_base + 1; // next spill row not yet known-dead
 
         let mut live_max_row = 0usize;
+        // Per-step gather scratch shared by both backends (substitution
+        // scores and pruning thresholds of the active lanes).
+        let mut subst_v: Lanes<i32> = splat(0);
+        let mut thresh_v: Lanes<i32> = splat(0);
         // the last lane finishes row row_cap at t_max - 2
-        let t_max = (row_cap - row_base) + width;
+        let rows_avail = row_cap - row_base;
+        let t_max = rows_avail + width;
         let mut t = 0usize;
         while t < t_max {
             let lane0_row = row_base + t + 1;
             // Shuffle in the left-neighbour values; lane 0 reads the
-            // strip-boundary spill.
+            // strip-boundary spill. The SIMD backend realizes the same
+            // `__shfl_up_sync` as one whole-vector shift with edge-lane
+            // injection (bit-identical; pinned by the lanes32 tests).
             let sp = |r: usize| spill.get(r).copied().unwrap_or(DEAD);
             let fill = sp(lane0_row);
             let fill_diag = sp(lane0_row - 1).s;
-            let s_left = shfl_up(&s_cur, 1, fill.s);
-            let i_left = shfl_up(&i_cur, 1, fill.i);
-            let s_diag_v = shfl_up(&s_prev, 1, fill_diag);
+            let (s_left, i_left, s_diag_v) = match cfg.backend {
+                WavefrontBackend::Interpreter => (
+                    shfl_up(&s_cur, 1, fill.s),
+                    shfl_up(&i_cur, 1, fill.i),
+                    shfl_up(&s_prev, 1, fill_diag),
+                ),
+                WavefrontBackend::Simd => (
+                    lanes32::shift_up1(&s_cur, fill.s),
+                    lanes32::shift_up1(&i_cur, fill.i),
+                    lanes32::shift_up1(&s_prev, fill_diag),
+                ),
+            };
             counters.shuffles += 3;
             // One bank-conflict access group per wavefront step.
             shared.sanitize_tick();
 
-            let mut active_lanes = 0u64;
-            let mut active_mask = 0u32;
-            let mut live_this_step = false;
-            let mut step_max = NEG_INF;
-            let mut any_dead = false;
-            let mut any_live_lane = false;
+            // Contiguous active-lane window of this step: lane ℓ computes
+            // row `lane0_row − ℓ`, so lanes above `hi` have not started
+            // and lanes below `lo` have finished their column (the same
+            // predicate the interpreter's per-lane guards used to check
+            // one lane at a time).
+            let lo = (t + 1).saturating_sub(rows_avail);
+            let hi = t.min(lanes_valid - 1);
 
-            for l in 0..lanes_valid {
-                let Some(row) = t.checked_sub(l).map(|x| row_base + x + 1) else {
-                    continue; // lane has not started yet
-                };
-                if row > row_cap {
-                    continue; // lane finished its column
-                }
-                let i_idx = row;
-                let j_idx = strip_base + l + 1;
-                active_lanes += 1;
-                if sanitizing {
-                    active_mask |= 1 << l;
-                }
-                explored_rows = explored_rows.max(i_idx);
-
-                // Gotoh recurrences (paper Fig. 1) on register state.
-                let (i_val, i_ext) = {
-                    let open = s_left[l] + so_se;
-                    let ext = i_left[l] + se;
-                    if ext >= open {
-                        (ext, true)
-                    } else {
-                        (open, false)
-                    }
-                };
-                let (d_val, d_ext) = {
-                    let open = s_cur[l] + so_se;
-                    let ext = d_cur[l] + se;
-                    if ext >= open {
-                        (ext, true)
-                    } else {
-                        (open, false)
-                    }
-                };
-                let diag_val =
-                    s_diag_v[l] + scoring.subst.score(target[j_idx - 1], query[i_idx - 1]);
-                let (mut s_val, mut s_src) = (diag_val, tb::S_DIAG);
-                if i_val > s_val {
-                    s_val = i_val;
-                    s_src = tb::S_FROM_I;
-                }
-                if d_val > s_val {
-                    s_val = d_val;
-                    s_src = tb::S_FROM_D;
-                }
-
-                // LASTZ-order-safe threshold (module docs).
-                let threshold = lagged_best.max(row_prefix_best[i_idx]) - ydrop;
-                let dead = s_val < threshold && i_val < threshold && d_val < threshold;
-                let (s_store, i_store, d_store) = if dead {
-                    any_dead = true;
-                    (NEG_INF, NEG_INF, NEG_INF)
-                } else {
-                    any_live_lane = true;
-                    // Clamp sentinel-derived I/D garbage at the NEG_INF
-                    // floor so dead gap chains cannot drift toward
-                    // i32::MIN (same discipline as the scalar engine).
-                    debug_assert!(
-                        s_val > NEG_INF / 2,
-                        "live cell ({i_idx},{j_idx}) carries a sentinel-derived S value {s_val}"
-                    );
-                    (s_val, i_val.max(NEG_INF), d_val.max(NEG_INF))
-                };
-
-                if !dead {
-                    sink.record(
-                        i_idx,
-                        j_idx,
-                        CellScores {
-                            s: s_store,
-                            i: i_store,
-                            d: d_store,
-                        },
-                    );
-                    live_this_step = true;
-                    strip_live = true;
-                    live_max_row = live_max_row.max(i_idx);
-                    step_max = step_max.max(s_store);
-                    row_max_strip[i_idx] = row_max_strip[i_idx].max(s_store);
-                    if s_store > best_score {
-                        best_score = s_store;
-                        best_i = i_idx;
-                        best_j = j_idx;
-                    }
-                }
-
-                // Traceback byte.
-                if cfg.record_traceback || (w > 0 && i_idx <= w && j_idx <= w) {
-                    let mut byte = if dead { tb::S_ORIGIN } else { s_src };
-                    if i_ext {
-                        byte |= tb::I_EXTEND;
-                    }
-                    if d_ext {
-                        byte |= tb::D_EXTEND;
-                    }
-                    if cfg.record_traceback {
-                        tbm[(i_idx - 1) * n + (j_idx - 1)] = byte | TB_WRITTEN;
-                        counters.global_written += 1; // 1 B/cell, staged
-                        counters.shared_bytes += 2; //   through shared
-                    }
-                    if w > 0 && i_idx <= w && j_idx <= w {
-                        shared.write_u8((i_idx - 1) * w + (j_idx - 1), byte);
-                        counters.shared_bytes += 1;
-                    }
-                }
-
-                // Cyclic register rotation: discard the oldest diagonal.
-                s_prev[l] = s_cur[l];
-                s_cur[l] = s_store;
-                i_cur[l] = i_store;
-                d_cur[l] = d_store;
-
-                // The last lane spills the strip boundary for the next
-                // strip.
-                if l == width - 1 && strip_base + width < n {
-                    next_spill[i_idx] = Spill {
-                        s: s_store,
-                        i: i_store,
-                    };
+            // Shared per-lane gathers: the substitution score of each
+            // active lane's cell and the LASTZ-order-safe pruning
+            // threshold (module docs). Performed once, fed to whichever
+            // kernel runs, so both backends consume identical inputs.
+            if lo <= hi {
+                for l in lo..=hi {
+                    let i_idx = lane0_row - l;
+                    let j_idx = strip_base + l + 1;
+                    subst_v[l] = scoring.subst.score(target[j_idx - 1], query[i_idx - 1]);
+                    thresh_v[l] = lagged_best.max(row_prefix_best[i_idx]) - ydrop;
                 }
             }
+
+            let step_in = StepIn {
+                s_left: &s_left,
+                i_left: &i_left,
+                s_diag: &s_diag_v,
+                s_cur: &s_cur,
+                d_cur: &d_cur,
+                subst: &subst_v,
+                threshold: &thresh_v,
+                so_se,
+                se,
+                lo,
+                hi,
+            };
+            let out = match cfg.backend {
+                WavefrontBackend::Interpreter => step_interpreter(&step_in),
+                WavefrontBackend::Simd => step_simd(&step_in),
+            };
 
             if sanitizing {
                 if let Some(s) = shared.sanitizer() {
                     // Ballot-mask / active-lane consistency: a step may
                     // only activate lanes inside the strip's valid set.
                     let valid_mask = ((1u64 << lanes_valid) - 1) as u32;
-                    s.check_ballot(active_mask, valid_mask);
+                    s.check_ballot(out.active_mask, valid_mask);
                 }
             }
 
-            if active_lanes == 0 {
+            if out.active_mask == 0 {
                 break;
+            }
+            let active_lanes = u64::from(out.active_mask.count_ones());
+            // Rows decrease with lane index, so lane `lo` is deepest.
+            explored_rows = explored_rows.max(lane0_row - lo);
+
+            // Shared bookkeeping over the step's outputs — identical for
+            // both backends, which can therefore only diverge inside the
+            // step kernels (and those are pinned per step by the
+            // differential tests).
+            let mut live_this_step = false;
+            let mut step_max = NEG_INF;
+            for l in lo..=hi {
+                let i_idx = lane0_row - l;
+                let j_idx = strip_base + l + 1;
+                if out.live_mask & (1 << l) != 0 {
+                    debug_assert!(
+                        out.s_store[l] > NEG_INF / 2,
+                        "live cell ({i_idx},{j_idx}) carries a sentinel-derived S value {}",
+                        out.s_store[l]
+                    );
+                    sink.record(
+                        i_idx,
+                        j_idx,
+                        CellScores {
+                            s: out.s_store[l],
+                            i: out.i_store[l],
+                            d: out.d_store[l],
+                        },
+                    );
+                    live_this_step = true;
+                    strip_live = true;
+                    live_max_row = live_max_row.max(i_idx);
+                    step_max = step_max.max(out.s_store[l]);
+                    row_max_strip[i_idx] = row_max_strip[i_idx].max(out.s_store[l]);
+                    if out.s_store[l] > best_score {
+                        best_score = out.s_store[l];
+                        best_i = i_idx;
+                        best_j = j_idx;
+                    }
+                }
+
+                // Traceback byte (the kernel computes one for every
+                // active lane; S_ORIGIN source when pruned).
+                if cfg.record_traceback {
+                    tbm[(i_idx - 1) * n + (j_idx - 1)] = out.tb[l] | TB_WRITTEN;
+                    counters.global_written += 1; // 1 B/cell, staged
+                    counters.shared_bytes += 2; //   through shared
+                }
+                if w > 0 && i_idx <= w && j_idx <= w {
+                    shared.write_u8((i_idx - 1) * w + (j_idx - 1), out.tb[l]);
+                    counters.shared_bytes += 1;
+                }
+            }
+
+            // Cyclic register rotation: discard the oldest diagonal. The
+            // windowed copy leaves finished and unstarted lanes' registers
+            // untouched; with the whole warp active it degenerates to a
+            // whole-vector rotation of the three-row buffer.
+            s_prev[lo..=hi].copy_from_slice(&s_cur[lo..=hi]);
+            s_cur[lo..=hi].copy_from_slice(&out.s_store[lo..=hi]);
+            i_cur[lo..=hi].copy_from_slice(&out.i_store[lo..=hi]);
+            d_cur[lo..=hi].copy_from_slice(&out.d_store[lo..=hi]);
+
+            // The last lane spills the strip boundary for the next strip.
+            if strip_base + width < n && (lo..=hi).contains(&(width - 1)) {
+                next_spill[lane0_row - (width - 1)] = Spill {
+                    s: out.s_store[width - 1],
+                    i: out.i_store[width - 1],
+                };
             }
 
             counters.steps += 1;
             counters.cells += active_lanes;
             counters.alu_ops += 9 * width as u64;
-            if any_dead && any_live_lane {
+            let any_dead = out.active_mask & !out.live_mask != 0;
+            if any_dead && out.live_mask != 0 {
                 counters.divergent_steps += 1;
                 if let Some(s) = shared.sanitizer() {
                     s.note_divergent_step();
@@ -954,5 +980,68 @@ mod tests {
         assert!(r.counters.cells >= 20);
         assert_eq!(r.counters.alu_ops, r.counters.steps * 9 * 32);
         assert!(r.counters.shuffles >= 3 * r.counters.steps);
+    }
+
+    #[test]
+    fn simd_backend_is_bit_identical_to_the_interpreter() {
+        // The engine's hard contract: backend choice changes host
+        // wall-clock only. Optimum, edit scripts, counters (hence modeled
+        // GPU time), and explored extents must match exactly, across
+        // strip widths and in both inspector and executor modes.
+        let sc = scoring();
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(3000 + seed);
+            let t = random_codes(260, 0.5, &mut rng);
+            let mut q = t.clone();
+            for b in q.iter_mut() {
+                if rng.gen_bool(0.06) {
+                    *b = (*b + 1 + rng.gen_range(0..3)) % 4;
+                }
+            }
+            let cut = rng.gen_range(40..200);
+            q.splice(cut..cut + 2, []);
+            for width in [1usize, 2, 7, 31, 32] {
+                let icfg = inspector_cfg().with_strip_width(width);
+                let a = run(&t, &q, &icfg);
+                let b = run(&t, &q, &icfg.with_backend(WavefrontBackend::Simd));
+                let ctx = format!("seed {seed} width {width}");
+                assert_eq!(a.best_score, b.best_score, "{ctx}");
+                assert_eq!((a.best_i, a.best_j), (b.best_i, b.best_j), "{ctx}");
+                assert_eq!(a.eager_ops, b.eager_ops, "{ctx}");
+                assert_eq!(a.counters, b.counters, "{ctx}");
+                assert_eq!(
+                    (a.explored_rows, a.explored_cols),
+                    (b.explored_rows, b.explored_cols),
+                    "{ctx}"
+                );
+
+                let ecfg = WarpConfig::executor(&OptFlags::fastz(), a.best_i, a.best_j)
+                    .with_strip_width(width);
+                let ea = run(&t, &q, &ecfg);
+                let eb = run(&t, &q, &ecfg.with_backend(WavefrontBackend::Simd));
+                assert_eq!(ea.ops, eb.ops, "{ctx} (executor)");
+                assert_eq!(ea.counters, eb.counters, "{ctx} (executor)");
+            }
+        }
+        // Cell-for-cell: every live cell both backends report to a trace
+        // sink must agree in position and all three scores.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let t = random_codes(150, 0.5, &mut rng);
+        let mut q = t.clone();
+        q.splice(70..72, []);
+        let mut shared = SharedMem::for_device(&fastz_gpu_sim::DeviceSpec::rtx3080_ampere());
+        let mut trace_a = fastz_align::DenseTrace::default();
+        warp_extend_traced(&t, &q, &sc, &inspector_cfg(), &mut shared, &mut trace_a);
+        let mut shared = SharedMem::for_device(&fastz_gpu_sim::DeviceSpec::rtx3080_ampere());
+        let mut trace_b = fastz_align::DenseTrace::default();
+        warp_extend_traced(
+            &t,
+            &q,
+            &sc,
+            &inspector_cfg().with_backend(WavefrontBackend::Simd),
+            &mut shared,
+            &mut trace_b,
+        );
+        assert_eq!(trace_a.cells, trace_b.cells);
     }
 }

@@ -13,12 +13,14 @@
 //!   model for the sequential/multicore LASTZ baselines.
 
 #![warn(missing_docs)]
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
 pub mod counters;
 pub mod device;
 pub mod fault;
 pub mod isa;
 pub mod kernel;
+pub mod lanes32;
 pub mod model;
 pub mod occupancy;
 pub mod roofline;

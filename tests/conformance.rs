@@ -22,6 +22,9 @@ fn engines_agree_on_a_small_fuzz_corpus() {
         // The sanitizer drill runs in tier-1 via the fastz-conformance
         // crate's own tests and at full scale in CI's sanitize job.
         sanitize: false,
+        // The run_case_on path plus the per-case backend-identity drill
+        // exercise the SIMD backend regardless of this setting.
+        backend: fastz_core::WavefrontBackend::default(),
     });
     assert!(
         suite.is_clean(),
@@ -40,6 +43,7 @@ fn conformance_detects_a_corrupted_engine() {
         corrupt_warp_match: 1,
         fault_seed: None,
         sanitize: false,
+        backend: fastz_core::WavefrontBackend::default(),
     });
     assert!(
         !suite.is_clean(),
