@@ -24,9 +24,17 @@
 //!   --format tsv|general|maf         output format (default tsv)
 //!   --emit-fasta PREFIX              write the (demo) inputs to
 //!                                    PREFIX.target.fa / PREFIX.query.fa and exit
+//!   --serve N                        route the workload through the alignment
+//!                                    service: split the seeds into N requests,
+//!                                    serve them co-batched through the
+//!                                    admission queue, and print the deduped
+//!                                    union (fastz engine only; --checkpoint
+//!                                    and --both-strands do not apply)
 //!   --fault-plan SEED                inject a seeded fault schedule (hangs,
 //!                                    bit flips, stalls, shmem pressure) and
-//!                                    recover through the resilient dispatcher
+//!                                    recover through the resilient dispatcher;
+//!                                    with --serve this is the service chaos
+//!                                    plan, re-keyed per request
 //!   --checkpoint FILE                checkpoint pipeline progress to FILE and
 //!                                    resume from it when present
 //!   --metrics-out FILE               export pipeline metrics to FILE
@@ -47,13 +55,15 @@
 //! modeled clock, never wall time).
 
 use fastz_align::{
-    multicore_gapped, sequential_gapped, write_general, write_maf, Alignment, DriverConfig,
+    dedupe_alignments, multicore_gapped, sequential_gapped, write_general, write_maf, Alignment,
+    DriverConfig,
 };
 use fastz_core::{run_fastz, run_fastz_observed, FastZConfig, ResilienceConfig};
 use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
 use fastz_gpu_sim::{DeviceSpec, FaultPlan};
 use fastz_obs::{export, NoObs, Recorder};
-use fastz_seed::{SeedShape, Workload, WorkloadParams};
+use fastz_seed::{Anchor, SeedShape, Workload, WorkloadParams};
+use fastz_serve::{AlignRequest, AlignService, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -73,6 +83,7 @@ struct Options {
     both_strands: bool,
     format: String,
     emit_fasta: Option<String>,
+    serve: usize,
     fault_plan: Option<u64>,
     checkpoint: Option<String>,
     metrics_out: Option<String>,
@@ -87,7 +98,7 @@ impl Options {
          [--device pascal|volta|ampere] [--threads N] [--sim-threads N] \
          [--seed exact19|12of19] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
-         [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
+         [--serve N] [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
          [--trace-out FILE] [--sanitize] [--sanitize-out FILE] [--stats]"
     }
 
@@ -108,6 +119,7 @@ impl Options {
             both_strands: false,
             format: "tsv".into(),
             emit_fasta: None,
+            serve: 0,
             fault_plan: None,
             checkpoint: None,
             metrics_out: None,
@@ -148,6 +160,11 @@ impl Options {
                 "--both-strands" => opts.both_strands = true,
                 "--format" => opts.format = grab("--format")?,
                 "--emit-fasta" => opts.emit_fasta = Some(grab("--emit-fasta")?),
+                "--serve" => {
+                    opts.serve = grab("--serve")?
+                        .parse()
+                        .map_err(|_| "--serve must be a request count".to_string())?
+                }
                 "--fault-plan" => {
                     opts.fault_plan = Some(
                         grab("--fault-plan")?
@@ -294,6 +311,39 @@ fn main() -> ExitCode {
     );
     let span = workload.shape.span();
 
+    if opts.serve > 0 {
+        if opts.engine != "fastz" {
+            eprintln!("fastz: --serve requires the fastz engine");
+            return ExitCode::FAILURE;
+        }
+        if opts.both_strands {
+            eprintln!("fastz: --serve does not combine with --both-strands");
+            return ExitCode::FAILURE;
+        }
+        let Some(device) = device_preset(&opts.device) else {
+            eprintln!("fastz: unknown device {}", opts.device);
+            return ExitCode::FAILURE;
+        };
+        let cfg = FastZConfig {
+            sim_threads: opts.sim_threads,
+            ..FastZConfig::new(scoring, device)
+        };
+        let alignments = match serve_front_end(&target, &query, &workload.anchors, span, cfg, &opts)
+        {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("fastz: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = emit(&alignments, &target, &query, '+', &opts) {
+            eprintln!("fastz: writing output: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fastz: {} alignments", alignments.len());
+        return ExitCode::SUCCESS;
+    }
+
     let scoring_for_minus = scoring.clone();
     let alignments = match opts.engine.as_str() {
         "lastz" => {
@@ -329,14 +379,9 @@ fn main() -> ExitCode {
             report.alignments
         }
         "fastz" => {
-            let device = match opts.device.as_str() {
-                "pascal" => DeviceSpec::titan_x_pascal(),
-                "volta" => DeviceSpec::qv100_volta(),
-                "ampere" => DeviceSpec::rtx3080_ampere(),
-                other => {
-                    eprintln!("fastz: unknown device {other}");
-                    return ExitCode::FAILURE;
-                }
+            let Some(device) = device_preset(&opts.device) else {
+                eprintln!("fastz: unknown device {}", opts.device);
+                return ExitCode::FAILURE;
             };
             let cfg = FastZConfig {
                 sim_threads: opts.sim_threads,
@@ -519,6 +564,85 @@ fn scoring_preset(name: &str) -> Option<Scoring> {
     }
 }
 
+fn device_preset(name: &str) -> Option<DeviceSpec> {
+    match name {
+        "pascal" => Some(DeviceSpec::titan_x_pascal()),
+        "volta" => Some(DeviceSpec::qv100_volta()),
+        "ampere" => Some(DeviceSpec::rtx3080_ampere()),
+        _ => None,
+    }
+}
+
+/// `--serve N`: the alignment-as-a-service front end. Splits the seeded
+/// workload into N requests, serves them co-batched through the
+/// admission queue, and returns the deduped union of every served
+/// request's alignments — bit-identical to a direct run (the
+/// conformance `--serve` drill holds the service to that). The queue is
+/// sized to admit every request; `--fault-plan` becomes the service
+/// chaos plan, re-keyed per request.
+fn serve_front_end(
+    target: &Sequence,
+    query: &Sequence,
+    anchors: &[Anchor],
+    span: usize,
+    cfg: FastZConfig,
+    opts: &Options,
+) -> Result<Vec<Alignment>, String> {
+    let per = anchors.len().div_ceil(opts.serve).max(1);
+    let requests: Vec<AlignRequest> = anchors
+        .chunks(per)
+        .enumerate()
+        .map(|(i, chunk)| AlignRequest::new(i as u64, chunk.to_vec(), span))
+        .collect();
+    let mut scfg = ServeConfig::new(cfg);
+    scfg.admission.queue_cap = scfg.admission.queue_cap.max(requests.len());
+    scfg.admission.work_budget = f64::INFINITY;
+    if let Some(seed) = opts.fault_plan {
+        scfg = scfg.with_chaos(FaultPlan::from_seed(seed));
+    }
+    let service = AlignService::new(target, query, scfg);
+    let mut rec = Recorder::new();
+    let report = if opts.metrics_out.is_some() {
+        service.run_observed(&requests, &mut rec)
+    } else {
+        service.run(&requests)
+    };
+    if let Some(path) = &opts.metrics_out {
+        let text = if path.ends_with(".prom") {
+            export::prometheus(&rec.registry)
+        } else {
+            export::json_report(&rec)
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("fastz: service metrics written to {path}");
+    }
+    eprintln!(
+        "fastz: served {} requests — {} completed, {} degraded, {} deadline-missed, {} shed",
+        report.records.len(),
+        report.count("completed"),
+        report.count("degraded"),
+        report.count("deadline-error"),
+        report.count("shed-error"),
+    );
+    eprintln!(
+        "fastz: service makespan {:.4} s; executor {:.4} s batched vs {:.4} s per-request \
+         ({} merged launches)",
+        report.makespan_s, report.batched_exec_s, report.solo_exec_s, report.merged_launches,
+    );
+    if opts.fault_plan.is_some() || opts.stats {
+        eprintln!("fastz: resilience: {}", report.resilience.summary());
+    }
+    if !report.resilience.accounts_for_all_faults() {
+        return Err("service fault accounting does not balance".to_string());
+    }
+    let union: Vec<Alignment> = report
+        .records
+        .iter()
+        .flat_map(|r| r.alignments.iter().cloned())
+        .collect();
+    Ok(dedupe_alignments(union))
+}
+
 /// Writes alignments in the selected format; `strand` marks the query
 /// strand (coordinates refer to the sequence actually aligned). Errors
 /// (closed pipe, full disk) bubble up for a non-zero exit instead of a
@@ -621,6 +745,15 @@ mod tests {
         assert!(Options::parse(&sv(&["--help"])).is_err());
         assert!(Options::parse(&sv(&["--fault-plan", "xyz"])).is_err());
         assert!(Options::parse(&sv(&["--fault-plan"])).is_err());
+    }
+
+    #[test]
+    fn serve_flag() {
+        let o = Options::parse(&sv(&["--serve", "8"])).unwrap();
+        assert_eq!(o.serve, 8);
+        assert!(Options::parse(&sv(&["--serve"])).is_err());
+        assert!(Options::parse(&sv(&["--serve", "many"])).is_err());
+        assert_eq!(Options::parse(&[]).unwrap().serve, 0);
     }
 
     #[test]

@@ -20,13 +20,14 @@ struct Args {
     out: Option<String>,
     metrics_out: Option<String>,
     replay: Option<(Category, u64)>,
+    serve: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
          \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
-         \x20                  [--sanitize] [--engine interpreter|simd]\n\
+         \x20                  [--sanitize] [--serve] [--engine interpreter|simd]\n\
          \x20                  [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
@@ -44,7 +45,12 @@ fn usage() -> ! {
          family through the warp engine on a shadow-sanitizer-attached\n\
          arena (initcheck, racecheck, bank conflicts, warp lints) plus a\n\
          sanitized pipeline workload, all of which must report zero\n\
-         findings. --engine picks the warp engine's wavefront backend\n\
+         findings. --serve drills the alignment service: every request's\n\
+         alignments and modeled-GPU-time bits must be identical served\n\
+         solo or co-batched, the deduped union of a split workload must\n\
+         equal the direct pipeline run, and seeded service chaos must\n\
+         change nothing observable while accounting for every fault.\n\
+         --engine picks the warp engine's wavefront backend\n\
          (interpreter or simd) for the whole suite; every invariant must\n\
          hold identically on either. --replay re-runs one case by its\n\
          reported category and seed."
@@ -58,6 +64,7 @@ fn parse_args() -> Args {
         out: None,
         metrics_out: None,
         replay: None,
+        serve: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +91,7 @@ fn parse_args() -> Args {
                     Some(value("--fault-seed").parse().unwrap_or_else(|_| usage()))
             }
             "--sanitize" => args.config.sanitize = true,
+            "--serve" => args.serve = true,
             "--engine" => {
                 args.config.backend = match value("--engine").as_str() {
                     "interpreter" => WavefrontBackend::Interpreter,
@@ -149,7 +157,21 @@ fn main() -> ExitCode {
         };
     }
 
-    let suite = run_suite(&args.config);
+    let mut suite = run_suite(&args.config);
+
+    if args.serve {
+        let (checks, divergences) = fastz_conformance::serve::check_serve(
+            args.config.seed,
+            &fastz_conformance::suite_scoring(),
+        );
+        eprintln!(
+            "serve drill: {} checks, {} divergences",
+            checks,
+            divergences.len()
+        );
+        suite.checks += checks;
+        suite.divergences.extend(divergences);
+    }
 
     if let Some(path) = &args.metrics_out {
         let (_, divergences, recorder) = fastz_conformance::pipeline::check_pipeline_metrics(

@@ -19,6 +19,7 @@ pub mod oracle;
 pub mod pipeline;
 pub mod report;
 pub mod sanitize;
+pub mod serve;
 
 pub use corpus::{bin_boundary_cases, fuzz_corpus, make_case, Case, Category};
 pub use engines::{run_case, CaseRun};

@@ -1,0 +1,183 @@
+//! Service conformance: the alignment service must be a *transparent*
+//! wrapper around the pipeline.
+//!
+//! Checks, per drill seed:
+//!
+//! 1. **Solo/co-batched bit identity** — every request's alignments and
+//!    modeled-GPU-time bits are identical whether the request was served
+//!    alone or co-batched into shared bin launches with the rest of the
+//!    corpus (cross-request batching is schedule-level only).
+//! 2. **Request-split transparency** — the deduped union of all served
+//!    requests' alignments equals a direct `run_fastz` over the same
+//!    anchors (splitting a workload across requests loses nothing).
+//! 3. **Chaos transparency** — under a seeded fault plan, every request
+//!    still terminates served, its alignment set is unchanged, and
+//!    `injected == detected + tolerated` holds end to end.
+
+use fastz_core::{run_fastz, FastZConfig, OptFlags};
+use fastz_genome::evolve::{default_classes, generate_pair, PairParams};
+use fastz_genome::Scoring;
+use fastz_gpu_sim::{DeviceSpec, FaultPlan};
+use fastz_seed::{Workload, WorkloadParams};
+use fastz_serve::{AlignRequest, AlignService, ServeConfig};
+
+use crate::corpus::Category;
+use crate::report::Divergence;
+
+fn diverge(seed: u64, invariant: &'static str, message: String) -> Divergence {
+    Divergence {
+        category: Category::CleanHomology,
+        seed,
+        invariant,
+        engines: "serve (AlignService) vs pipeline (run_fastz)",
+        message,
+        first_divergent_cell: None,
+    }
+}
+
+/// Runs the service drill for `seed`; returns `(checks, divergences)`.
+pub fn check_serve(seed: u64, scoring: &Scoring) -> (usize, Vec<Divergence>) {
+    let mut checks = 0usize;
+    let mut div = Vec::new();
+
+    let pair = generate_pair(&PairParams {
+        label: "serve-drill".to_string(),
+        target_len: 16_000,
+        query_len: 16_000,
+        segments: 32,
+        classes: default_classes(),
+        gc: 0.42,
+        rng_seed: seed,
+    });
+    let wl = Workload::build(
+        &pair.target,
+        &pair.query,
+        &WorkloadParams {
+            max_anchors: 120,
+            ..WorkloadParams::default()
+        },
+    );
+    let span = wl.shape.span();
+
+    let mut cfg = FastZConfig::new(scoring.clone(), DeviceSpec::rtx3080_ampere());
+    cfg.flags = OptFlags::fastz();
+
+    // Split the corpus into co-batchable requests.
+    let per = wl.anchors.len().div_ceil(5).max(1);
+    let reqs: Vec<AlignRequest> = wl
+        .anchors
+        .chunks(per)
+        .enumerate()
+        .map(|(i, c)| AlignRequest::new(i as u64, c.to_vec(), span))
+        .collect();
+
+    let mut scfg = ServeConfig::new(cfg.clone());
+    scfg.admission.queue_cap = 1024;
+    scfg.admission.work_budget = 1e12;
+    let service = AlignService::new(&pair.target, &pair.query, scfg.clone());
+    let batched = service.run(&reqs);
+
+    // 1. Solo vs co-batched: identical bits per request.
+    for req in &reqs {
+        checks += 2;
+        let solo = service.run(std::slice::from_ref(req));
+        let s = &solo.records[0];
+        let Some(b) = batched.records.iter().find(|r| r.id == req.id) else {
+            div.push(diverge(
+                seed,
+                "serve-request-lost",
+                format!("request {} has no record in the co-batched run", req.id),
+            ));
+            continue;
+        };
+        if s.alignments != b.alignments {
+            div.push(diverge(
+                seed,
+                "serve-solo-batched-alignments",
+                format!(
+                    "request {}: {} alignments solo vs {} co-batched",
+                    req.id,
+                    s.alignments.len(),
+                    b.alignments.len()
+                ),
+            ));
+        }
+        if s.modeled_time_s.to_bits() != b.modeled_time_s.to_bits() {
+            div.push(diverge(
+                seed,
+                "serve-solo-batched-modeled-bits",
+                format!(
+                    "request {}: modeled time {:.9e} s solo vs {:.9e} s co-batched",
+                    req.id, s.modeled_time_s, b.modeled_time_s
+                ),
+            ));
+        }
+    }
+
+    // 2. Union of served requests == direct pipeline over all anchors.
+    checks += 1;
+    let direct = run_fastz(&pair.target, &pair.query, &wl.anchors, span, &cfg);
+    let mut union: Vec<_> = batched
+        .records
+        .iter()
+        .flat_map(|r| r.alignments.iter().cloned())
+        .collect();
+    union = fastz_align::dedupe_alignments(union);
+    let mut expect = direct.alignments.clone();
+    expect = fastz_align::dedupe_alignments(expect);
+    if union != expect {
+        div.push(diverge(
+            seed,
+            "serve-split-transparency",
+            format!(
+                "deduped union of {} requests has {} alignments, direct run has {}",
+                reqs.len(),
+                union.len(),
+                expect.len()
+            ),
+        ));
+    }
+
+    // 3. Chaos transparency: seeded faults change nothing observable.
+    checks += 2;
+    let chaotic_service = AlignService::new(
+        &pair.target,
+        &pair.query,
+        scfg.with_chaos(FaultPlan::from_seed(seed ^ 0x5EED)),
+    );
+    let chaotic = chaotic_service.run(&reqs);
+    if !chaotic.resilience.accounts_for_all_faults() {
+        div.push(diverge(
+            seed,
+            "serve-fault-accounting",
+            format!(
+                "injected {:?} != detected {:?} + tolerated {:?}",
+                chaotic.resilience.injected,
+                chaotic.resilience.detected,
+                chaotic.resilience.tolerated
+            ),
+        ));
+    }
+    for r in &chaotic.records {
+        let quiet = batched.records.iter().find(|q| q.id == r.id);
+        if !r.outcome.served() {
+            div.push(diverge(
+                seed,
+                "serve-chaos-outcome",
+                format!(
+                    "request {} ended {} under chaos with no overload",
+                    r.id,
+                    r.outcome.class()
+                ),
+            ));
+        } else if quiet.map(|q| &q.alignments) != Some(&r.alignments) {
+            div.push(diverge(
+                seed,
+                "serve-chaos-alignments",
+                format!("request {}'s alignment set changed under chaos", r.id),
+            ));
+        }
+    }
+
+    (checks, div)
+}

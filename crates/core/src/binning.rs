@@ -6,6 +6,17 @@
 //! Alignments of 16 bp or less never reach the executor at all (eager
 //! traceback); Table 2 reports exactly this classification over the
 //! benchmark seeds.
+//!
+//! Under the alignment service (`fastz-serve`) the same binning becomes
+//! a *cross-request* scheduler: [`BinPacker`] merges request-tagged
+//! executor tasks from concurrent requests into shared per-bin launches,
+//! so traffic that would leave each request's bins ragged instead fills
+//! them. Merging only re-groups *modeled kernel launches* — each
+//! request's functional results and per-request timing are computed from
+//! its own position-keyed work counters, so a request's report is
+//! bit-identical whether it was served solo or co-batched.
+
+use fastz_gpu_sim::{BlockResources, KernelSpec, WarpTask};
 
 /// The eager-traceback boundary: alignments whose optimal cell lies
 /// within a 16×16 window finish in the inspector.
@@ -101,6 +112,139 @@ impl BinCounts {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-request bin packing (the service-side scheduler)
+// ---------------------------------------------------------------------------
+
+/// Number of executor bin slots (slot 0 = eager-sized problems run with
+/// the eager flag off, then the four §3.3 bins, then overflow) — the
+/// same slot space `FastZReport::executor_bin_slots` uses.
+pub const BIN_SLOTS: usize = BIN_BOUNDS.len() + 2;
+
+/// One executor task tagged with the request it belongs to, so a merged
+/// launch can be demultiplexed back to per-request attribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaggedTask {
+    /// The originating request.
+    pub request: u64,
+    /// Executor bin slot (see [`BIN_SLOTS`]).
+    pub slot: usize,
+    /// The priced task.
+    pub task: WarpTask,
+}
+
+/// Per-slot membership of one merged launch: which requests contributed
+/// how many tasks (sorted by request id — deterministic regardless of
+/// push order *within* a request, preserving cross-request push order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LaunchDemux {
+    /// `(request, task count)` pairs for one merged kernel.
+    pub shares: Vec<(u64, usize)>,
+}
+
+/// A merged cross-request launch schedule for one executor bin slot.
+#[derive(Clone, Debug)]
+pub struct MergedLaunch {
+    /// Bin slot this kernel serves.
+    pub slot: usize,
+    /// The merged kernel (tasks from every contributing request, in
+    /// arrival order).
+    pub kernel: KernelSpec,
+    /// Which request contributed which tasks.
+    pub demux: LaunchDemux,
+    /// Occupied fraction of the launch batch, in (0, 1].
+    pub fill: f64,
+}
+
+/// Merges request-tagged executor tasks from concurrent requests into
+/// shared per-bin kernel launches of at most `batch` tasks each.
+///
+/// Tasks keep arrival order within a slot, so the schedule is a pure
+/// function of the submission sequence — never of host threading. The
+/// packer schedules *modeled* launches only: it moves no functional
+/// work, so per-request results cannot be affected by who shared a bin.
+#[derive(Clone, Debug)]
+pub struct BinPacker {
+    batch: usize,
+    slots: [Vec<TaggedTask>; BIN_SLOTS],
+}
+
+impl BinPacker {
+    /// An empty packer with the given launch batch size (clamped ≥ 1).
+    pub fn new(batch: usize) -> BinPacker {
+        BinPacker {
+            batch: batch.max(1),
+            slots: Default::default(),
+        }
+    }
+
+    /// Adds one request-tagged task to its bin. Out-of-range slots panic
+    /// — the slot space is fixed by [`BIN_SLOTS`].
+    pub fn push(&mut self, t: TaggedTask) {
+        self.slots[t.slot].push(t);
+    }
+
+    /// Adds every executor task of one request's report, tagged with
+    /// `request`. `kernels` and `slots` are the report's parallel
+    /// `executor_kernels` / `executor_bin_slots` vectors.
+    pub fn push_report(&mut self, request: u64, kernels: &[KernelSpec], slots: &[usize]) {
+        debug_assert_eq!(kernels.len(), slots.len());
+        for (kernel, &slot) in kernels.iter().zip(slots) {
+            for &task in &kernel.tasks {
+                self.push(TaggedTask {
+                    request,
+                    slot,
+                    task,
+                });
+            }
+        }
+    }
+
+    /// Total tasks currently packed.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// True when no task has been packed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Emits the merged launch schedule: per slot, tasks are chunked
+    /// into kernels of at most the batch size; every kernel carries its
+    /// per-request demux and fill ratio. Consumes the packed tasks.
+    pub fn launches(&mut self, resources: BlockResources) -> Vec<MergedLaunch> {
+        let mut out = Vec::new();
+        for (slot, tasks) in self.slots.iter_mut().enumerate() {
+            if tasks.is_empty() {
+                continue;
+            }
+            for (b, chunk) in tasks.chunks(self.batch).enumerate() {
+                let mut shares: Vec<(u64, usize)> = Vec::new();
+                for t in chunk {
+                    match shares.iter_mut().find(|(r, _)| *r == t.request) {
+                        Some((_, n)) => *n += 1,
+                        None => shares.push((t.request, 1)),
+                    }
+                }
+                shares.sort_unstable();
+                out.push(MergedLaunch {
+                    slot,
+                    kernel: KernelSpec::new(
+                        format!("serve-bin{slot}-{b}"),
+                        chunk.iter().map(|t| t.task).collect(),
+                        resources,
+                    ),
+                    demux: LaunchDemux { shares },
+                    fill: chunk.len() as f64 / self.batch as f64,
+                });
+            }
+            tasks.clear();
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +329,78 @@ mod tests {
         assert_eq!(c.eager, 17);
         assert_eq!(c.bins[0], 512 - 16);
         assert_eq!(c.overflow, 40_000 - 32_769);
+    }
+
+    fn task(cycles: f64) -> WarpTask {
+        WarpTask {
+            cycles,
+            dram_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn packer_merges_requests_and_demuxes() {
+        let mut p = BinPacker::new(4);
+        // Request 1: three bin-1 tasks; request 2: two bin-1, one bin-3.
+        for k in 0..3 {
+            p.push(TaggedTask {
+                request: 1,
+                slot: 1,
+                task: task(k as f64),
+            });
+        }
+        for k in 0..2 {
+            p.push(TaggedTask {
+                request: 2,
+                slot: 1,
+                task: task(10.0 + k as f64),
+            });
+        }
+        p.push(TaggedTask {
+            request: 2,
+            slot: 3,
+            task: task(99.0),
+        });
+        assert_eq!(p.len(), 6);
+        let launches = p.launches(BlockResources::fastz_executor());
+        assert!(p.is_empty(), "launches drains the packer");
+        // Bin 1: 5 tasks over batch 4 ⇒ two kernels (4 + 1); bin 3: one.
+        assert_eq!(launches.len(), 3);
+        let b1: Vec<_> = launches.iter().filter(|l| l.slot == 1).collect();
+        assert_eq!(b1.len(), 2);
+        assert_eq!(b1[0].kernel.tasks.len(), 4);
+        assert_eq!(b1[0].demux.shares, vec![(1, 3), (2, 1)]);
+        assert!((b1[0].fill - 1.0).abs() < 1e-12);
+        assert_eq!(b1[1].demux.shares, vec![(2, 1)]);
+        assert!((b1[1].fill - 0.25).abs() < 1e-12);
+        // Tasks keep arrival order: request 1's three, then request 2's.
+        let cycles: Vec<f64> = b1[0].kernel.tasks.iter().map(|t| t.cycles).collect();
+        assert_eq!(cycles, vec![0.0, 1.0, 2.0, 10.0]);
+        // Every packed task landed in exactly one launch.
+        let total: usize = launches.iter().map(|l| l.kernel.tasks.len()).sum();
+        assert_eq!(total, 6);
+        let demuxed: usize = launches
+            .iter()
+            .flat_map(|l| l.demux.shares.iter().map(|&(_, n)| n))
+            .sum();
+        assert_eq!(demuxed, 6);
+    }
+
+    #[test]
+    fn packer_batch_is_clamped_and_empty_slots_skipped() {
+        let mut p = BinPacker::new(0);
+        p.push(TaggedTask {
+            request: 7,
+            slot: 0,
+            task: task(1.0),
+        });
+        let launches = p.launches(BlockResources::fastz_executor());
+        assert_eq!(launches.len(), 1, "batch 0 clamps to 1");
+        assert_eq!(launches[0].slot, 0);
+        assert!((launches[0].fill - 1.0).abs() < 1e-12);
+        assert!(BinPacker::new(8)
+            .launches(BlockResources::fastz_executor())
+            .is_empty());
     }
 
     #[test]

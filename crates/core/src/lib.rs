@@ -21,14 +21,18 @@ pub mod warp_engine;
 pub mod wavefront_step;
 
 pub use ablation::OptFlags;
-pub use binning::{bin_allocation, classify, BinClass, BinCounts, BIN_BOUNDS, EAGER_BOUND};
+pub use binning::{
+    bin_allocation, classify, BinClass, BinCounts, BinPacker, LaunchDemux, MergedLaunch,
+    TaggedTask, BIN_BOUNDS, BIN_SLOTS, EAGER_BOUND,
+};
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
 pub use multi_gpu::{
     partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, straggler_index,
     MultiGpuReport, Partition,
 };
 pub use pipeline::{
-    run_fastz, run_fastz_observed, run_fastz_resilient, FastZConfig, FastZReport, FastZStats,
+    run_fastz, run_fastz_in_pool, run_fastz_observed, run_fastz_resilient, FastZConfig,
+    FastZReport, FastZStats,
 };
 pub use pool::{Arena, HostDispatch, HostPool, PoolStats};
 pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};

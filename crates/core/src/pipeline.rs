@@ -140,6 +140,11 @@ pub struct FastZReport {
     pub inspector_kernels: Vec<KernelSpec>,
     /// Executor kernel specifications, one batch per length bin.
     pub executor_kernels: Vec<KernelSpec>,
+    /// Bin slot of each executor kernel, parallel to `executor_kernels`
+    /// (slot 0 = eager-sized problems run with the flag off, then the
+    /// four §3.3 bins, then overflow). The cross-request bin packer
+    /// (`fastz-serve`) keys merged launches on this.
+    pub executor_bin_slots: Vec<usize>,
     /// Modeled host-side "other" time (device-independent).
     pub other_s: f64,
     /// Worst-case per-problem score-matrix allocation in bytes when the
@@ -407,13 +412,21 @@ pub fn run_fastz_observed<S: MetricsSink>(
             cfg.host_dispatch,
             cfg.sanitize,
         );
-        run_fastz_pooled(target, query, anchors, seed_span, cfg, rcfg, sink, &pool)
+        run_fastz_in_pool(target, query, anchors, seed_span, cfg, rcfg, sink, &pool)
     })
 }
 
 /// The pipeline body, parameterized over an already-running [`HostPool`].
+///
+/// This is the entry point the alignment service (`fastz-serve`) uses to
+/// run many requests on one persistent worker set: arenas survive across
+/// requests exactly as they survive across phases, and because every
+/// result derives from position-keyed work counters, a request's report —
+/// alignments, bin counts, and the modeled GPU time's exact bits — is
+/// identical whether its problems ran on a private pool or interleaved
+/// with other requests' phases on a shared one.
 #[allow(clippy::too_many_arguments)]
-fn run_fastz_pooled<S: MetricsSink>(
+pub fn run_fastz_in_pool<S: MetricsSink>(
     target: &Sequence,
     query: &Sequence,
     anchors: &[Anchor],
@@ -444,12 +457,27 @@ fn run_fastz_pooled<S: MetricsSink>(
     let mut ckpt = Checkpoint::new(fingerprint);
     let mut res = ResilienceReport::default();
     if let Some(path) = &rcfg.checkpoint {
-        if let Ok(Some(prev)) = Checkpoint::load(path) {
-            // A foreign or stale checkpoint (different inputs/flags) is
-            // ignored, not trusted.
-            if prev.fingerprint == fingerprint {
+        match Checkpoint::load(path) {
+            Ok(Some(prev)) if prev.fingerprint == fingerprint => {
                 res.resumed = prev.inspector_done;
                 ckpt = prev;
+            }
+            Ok(Some(prev)) => {
+                // A foreign or stale checkpoint (different inputs/flags)
+                // is not trusted; record why and start from scratch.
+                res.checkpoints_rejected.push(format!(
+                    "{}: fingerprint {:016x} does not match workload {:016x}",
+                    path.display(),
+                    prev.fingerprint,
+                    fingerprint
+                ));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Torn/corrupt file (or an IO failure): reported, not
+                // silently ignored — the run proceeds from scratch and
+                // the next save atomically replaces the bad file.
+                res.checkpoints_rejected.push(e);
             }
         }
     }
@@ -985,6 +1013,7 @@ fn run_fastz_pooled<S: MetricsSink>(
         host_wall: wall_start.elapsed(),
         inspector_kernels,
         executor_kernels,
+        executor_bin_slots: executor_kernel_slots,
         other_s,
         inspector_alloc_bytes,
         executor_alloc_bytes,

@@ -103,8 +103,11 @@ impl ResilienceConfig {
     }
 
     /// Total per-problem attempt budget before the skip rung.
+    /// Saturating: adversarial configs near `u32::MAX` clamp instead of
+    /// wrapping to a tiny budget (which would skip healthy problems).
     pub fn attempt_budget(&self) -> u32 {
-        self.max_problem_retries + self.max_fallback_retries
+        self.max_problem_retries
+            .saturating_add(self.max_fallback_retries)
     }
 }
 
@@ -144,6 +147,11 @@ pub struct ResilienceReport {
     pub restored_problems: u64,
     /// Whether the run resumed from an existing checkpoint.
     pub resumed: bool,
+    /// Checkpoints found on disk but **not** trusted, with the reason:
+    /// torn/truncated files (bad header, missing end marker, corrupt
+    /// records) and foreign fingerprints land here instead of being
+    /// silently ignored. The run always proceeds from scratch.
+    pub checkpoints_rejected: Vec<String>,
 }
 
 impl ResilienceReport {
@@ -169,6 +177,8 @@ impl ResilienceReport {
         self.checkpoints_written += other.checkpoints_written;
         self.restored_problems += other.restored_problems;
         self.resumed |= other.resumed;
+        self.checkpoints_rejected
+            .extend(other.checkpoints_rejected.iter().cloned());
     }
 
     /// One-line human summary (CLI `--stats`).
@@ -204,6 +214,10 @@ impl ResilienceReport {
         sink.counter_add(names::FALLBACKS_TOTAL, self.fallbacks);
         sink.counter_add(names::SKIPPED_SEEDS_TOTAL, self.skipped_seeds.len() as u64);
         sink.counter_add(names::CHECKPOINTS_WRITTEN_TOTAL, self.checkpoints_written);
+        sink.counter_add(
+            names::CHECKPOINTS_REJECTED_TOTAL,
+            self.checkpoints_rejected.len() as u64,
+        );
         sink.counter_add(names::RESTORED_PROBLEMS_TOTAL, self.restored_problems);
         sink.counter_add(
             names::REDISPATCHED_ANCHORS_TOTAL,
@@ -304,10 +318,15 @@ impl Checkpoint {
         }
     }
 
-    /// Serializes to the checkpoint text format.
+    /// Serializes to the checkpoint text format (v2).
+    ///
+    /// v2 ends with an `end <inspector> <executor> <bins-done>` trailer
+    /// carrying the record counts. A file truncated at any point — even
+    /// cleanly at a line boundary, which v1 could not detect — fails to
+    /// parse instead of silently resuming from partial state.
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(64 * (self.inspector.len() + self.executor.len()) + 64);
-        out.push_str("fastz-checkpoint v1\n");
+        out.push_str("fastz-checkpoint v2\n");
         out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
         for (&idx, r) in &self.inspector {
             out.push_str(&encode_side('I', idx, r));
@@ -321,13 +340,21 @@ impl Checkpoint {
         for &slot in &self.bins_done {
             out.push_str(&format!("bin-done {slot}\n"));
         }
+        out.push_str(&format!(
+            "end {} {} {}\n",
+            self.inspector.len(),
+            self.executor.len(),
+            self.bins_done.len()
+        ));
         out
     }
 
-    /// Parses the checkpoint text format.
+    /// Parses the checkpoint text format. Rejects torn files: the `end`
+    /// trailer must be present, must be the last line, and its record
+    /// counts must match what was actually parsed.
     pub fn from_text(text: &str) -> Result<Checkpoint, String> {
         let mut lines = text.lines();
-        if lines.next() != Some("fastz-checkpoint v1") {
+        if lines.next() != Some("fastz-checkpoint v2") {
             return Err("not a fastz checkpoint (bad header)".into());
         }
         let fp_line = lines.next().ok_or("missing fingerprint")?;
@@ -336,7 +363,11 @@ impl Checkpoint {
             .and_then(|h| u64::from_str_radix(h, 16).ok())
             .ok_or("bad fingerprint line")?;
         let mut ckpt = Checkpoint::new(fp);
+        let mut sealed = false;
         for line in lines {
+            if sealed {
+                return Err("data after end trailer".into());
+            }
             if line.is_empty() {
                 continue;
             }
@@ -351,32 +382,71 @@ impl Checkpoint {
             } else if let Some(rest) = line.strip_prefix("E ") {
                 let (idx, r) = decode_side(rest)?;
                 ckpt.executor.insert(idx, r);
+            } else if let Some(counts) = line.strip_prefix("end ") {
+                let want: Vec<usize> = counts
+                    .split_ascii_whitespace()
+                    .map(|c| c.parse().map_err(|_| format!("bad end trailer: {line}")))
+                    .collect::<Result<_, String>>()?;
+                let got = [
+                    ckpt.inspector.len(),
+                    ckpt.executor.len(),
+                    ckpt.bins_done.len(),
+                ];
+                if want != got {
+                    return Err(format!(
+                        "end trailer counts {want:?} do not match records {got:?}"
+                    ));
+                }
+                sealed = true;
             } else {
                 return Err(format!("unrecognized checkpoint line: {line}"));
             }
         }
+        if !sealed {
+            return Err("truncated checkpoint (missing end trailer)".into());
+        }
         Ok(ckpt)
     }
 
-    /// Writes the checkpoint atomically (temp file + rename).
+    /// Writes the checkpoint crash-consistently: the bytes go to a temp
+    /// file *in the same directory* (rename across filesystems is not
+    /// atomic), are fsync'd so the rename can never publish a name whose
+    /// data is still in the page cache, and then atomically replace
+    /// `path`. A crash at any point leaves either the old checkpoint or
+    /// the new one — never a torn file under the real name.
     pub fn save(&self, path: &std::path::Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
+        let mut name = path
+            .file_name()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "checkpoint path has no file name",
+                )
+            })?
+            .to_os_string();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
         {
             let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
             f.write_all(self.to_text().as_bytes())?;
             f.flush()?;
+            f.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, path)
     }
 
     /// Loads a checkpoint; `Ok(None)` when the file does not exist.
+    /// Every error — IO or parse — names the offending path so rejection
+    /// reports stay actionable.
     pub fn load(path: &std::path::Path) -> Result<Option<Checkpoint>, String> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(format!("{}: {e}", path.display())),
         };
-        Checkpoint::from_text(&text).map(Some)
+        Checkpoint::from_text(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
@@ -572,6 +642,87 @@ mod tests {
 
         assert_eq!(Checkpoint::load(&dir.join("missing.ckpt")).unwrap(), None);
         assert!(Checkpoint::from_text("garbage").is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoints_are_detected_and_reported() {
+        let mut ckpt = Checkpoint::new(0x1234);
+        ckpt.inspector.insert(0, side(1));
+        ckpt.inspector.insert(1, side(2));
+        ckpt.inspector_done = true;
+        ckpt.executor.insert(0, side(3));
+        ckpt.bins_done.insert(1);
+        let full = ckpt.to_text();
+        assert!(full.ends_with("end 2 1 1\n"), "trailer carries counts");
+
+        // Truncation cleanly at a line boundary (the case v1 accepted).
+        let lines: Vec<&str> = full.lines().collect();
+        for keep in 0..lines.len() {
+            let partial = lines[..keep]
+                .iter()
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            assert!(
+                Checkpoint::from_text(&partial).is_err(),
+                "prefix of {keep} lines must be rejected"
+            );
+        }
+        // Truncation mid-line.
+        assert!(Checkpoint::from_text(&full[..full.len() - 3]).is_err());
+        // Trailing garbage after the seal.
+        assert!(Checkpoint::from_text(&format!("{full}bin-done 9\n")).is_err());
+        // Counts that disagree with the records.
+        let forged = full.replace("end 2 1 1", "end 2 1 2");
+        assert!(Checkpoint::from_text(&forged)
+            .unwrap_err()
+            .contains("do not match"));
+
+        // `load` names the path, so rejection reports are actionable.
+        let dir = std::env::temp_dir().join("fastz-ckpt-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.ckpt");
+        std::fs::write(&path, &full[..full.len() - 12]).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.contains("torn.ckpt"), "error names the file: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_uses_same_directory_temp_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("fastz-ckpt-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.ckpt");
+        let old = Checkpoint::new(1);
+        old.save(&path).unwrap();
+        let new = Checkpoint::new(2);
+        new.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().unwrap().fingerprint, 2);
+        assert!(
+            !dir.join("atomic.ckpt.tmp").exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert!(Checkpoint::new(3).save(std::path::Path::new("/")).is_err());
+    }
+
+    #[test]
+    fn attempt_budget_edges() {
+        let mut cfg = ResilienceConfig::disabled();
+        cfg.max_problem_retries = 0;
+        cfg.max_fallback_retries = 0;
+        assert_eq!(cfg.attempt_budget(), 0, "0 retries: straight to skip");
+        cfg.max_problem_retries = u32::MAX;
+        cfg.max_fallback_retries = 0;
+        assert_eq!(cfg.attempt_budget(), u32::MAX);
+        cfg.max_fallback_retries = 1;
+        assert_eq!(
+            cfg.attempt_budget(),
+            u32::MAX,
+            "overflow-adjacent budgets saturate instead of wrapping to 0"
+        );
+        cfg.max_problem_retries = u32::MAX - 1;
+        cfg.max_fallback_retries = u32::MAX - 1;
+        assert_eq!(cfg.attempt_budget(), u32::MAX);
     }
 
     #[test]

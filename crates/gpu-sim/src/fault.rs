@@ -112,6 +112,9 @@ pub mod scope {
     pub const PROBLEM: u32 = 2;
     /// Device lifecycle (unit = dispatch chunk index).
     pub const DEVICE: u32 = 3;
+    /// Service-level events in `fastz-serve` (unit = request id):
+    /// device loss during a request's dispatch, merged-launch hangs.
+    pub const SERVICE: u32 = 4;
 }
 
 impl FaultSite {
@@ -231,6 +234,26 @@ impl FaultPlan {
         self.rates == FaultRates::NONE
     }
 
+    /// A per-request sub-plan for the alignment service: the same rates
+    /// and convergence bound, reseeded deterministically from the
+    /// request id. Each request's fault schedule is then a pure function
+    /// of `(service seed, request id)` — independent of which other
+    /// requests it was co-batched with, how full the queue was, or which
+    /// worker ran it — which is what lets the chaos-soak test demand
+    /// bit-identical per-request outcomes across `sim_threads` and
+    /// dispatch modes.
+    pub fn for_request(&self, request: u64) -> FaultPlan {
+        FaultPlan {
+            seed: mix(
+                self.seed,
+                0x7365_7276_655f_7265,
+                request,
+                request.rotate_left(29),
+            ),
+            ..*self
+        }
+    }
+
     /// Does `kind` strike `site` on its `attempt`-th try? Deterministic;
     /// attempts at or beyond `max_consecutive` never fault (except
     /// permanent device loss, which is attempt-independent).
@@ -299,7 +322,10 @@ pub struct WatchdogPolicy {
     pub deadline_floor_s: f64,
     /// First relaunch backoff; doubles every consecutive fault.
     pub backoff_base_s: f64,
-    /// Backoff ceiling.
+    /// Backoff ceiling: [`WatchdogPolicy::backoff_s`] clamps the
+    /// exponential here, so total backoff grows linearly (never
+    /// exponentially) in the attempt count and a single wait is bounded
+    /// regardless of how adversarial the fault plan is.
     pub backoff_cap_s: f64,
     /// Latency absorbed per stream stall.
     pub stall_penalty_s: f64,
@@ -324,7 +350,11 @@ impl WatchdogPolicy {
         self.deadline_factor * expected_s + self.deadline_floor_s
     }
 
-    /// Exponential backoff before relaunch `attempt` (0-based), capped.
+    /// Exponential backoff before relaunch `attempt` (0-based), clamped
+    /// to [`WatchdogPolicy::backoff_cap_s`]. The exponent itself is
+    /// clamped at 2³¹ first, so overflow-adjacent attempt counts
+    /// (`u32::MAX`) cannot overflow the multiplier into `inf`/`NaN`
+    /// before the cap applies.
     pub fn backoff_s(&self, attempt: u32) -> f64 {
         (self.backoff_base_s * 2f64.powi(attempt.min(31) as i32)).min(self.backoff_cap_s)
     }
@@ -491,6 +521,44 @@ mod tests {
         assert_eq!(w.backoff_s(2), 4.0 * w.backoff_s(0));
         assert!(w.backoff_s(30) <= w.backoff_cap_s);
         assert!(w.backoff_s(31) <= w.backoff_cap_s);
+    }
+
+    #[test]
+    fn backoff_overflow_adjacent_attempts_stay_bounded() {
+        let w = WatchdogPolicy::default();
+        for attempt in [32, 64, 1 << 20, u32::MAX - 1, u32::MAX] {
+            let b = w.backoff_s(attempt);
+            assert!(b.is_finite(), "attempt {attempt} produced {b}");
+            assert_eq!(b, w.backoff_cap_s, "huge attempts clamp to the ceiling");
+        }
+        // Attempt 0 with a zero base waits nothing, never NaN.
+        let zero = WatchdogPolicy {
+            backoff_base_s: 0.0,
+            ..WatchdogPolicy::default()
+        };
+        assert_eq!(zero.backoff_s(0), 0.0);
+        assert_eq!(zero.backoff_s(u32::MAX), 0.0);
+    }
+
+    #[test]
+    fn per_request_plans_are_deterministic_and_independent() {
+        let service = FaultPlan::from_seed(99);
+        let a = service.for_request(3);
+        assert_eq!(a, service.for_request(3), "same request ⇒ same plan");
+        assert_ne!(a.seed, service.for_request(4).seed);
+        assert_ne!(a.seed, service.seed);
+        assert_eq!(a.rates, service.rates, "rates carry over");
+        assert_eq!(a.max_consecutive, service.max_consecutive);
+        // Schedules diverge across requests at shared sites.
+        let diverged = (0..256).any(|u| {
+            FaultKind::ALL.iter().any(|&k| {
+                service.for_request(1).fires(k, site(u), 0)
+                    != service.for_request(2).fires(k, site(u), 0)
+            })
+        });
+        assert!(diverged, "request reseeding never diverged in 256 sites");
+        // The empty plan stays empty for every request.
+        assert!(FaultPlan::none().for_request(7).is_none());
     }
 
     #[test]

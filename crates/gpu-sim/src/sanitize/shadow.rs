@@ -272,9 +272,12 @@ impl Sanitizer for ShadowSanitizer {
             for byte in offset..offset + len {
                 let b = g.shadow[byte];
                 if b.wgen != generation {
+                    // The epoch counter is arena-local bookkeeping: in a
+                    // pooled run it depends on which worker's arena served
+                    // the problem, so it must stay out of the finding text
+                    // (merged reports are compared across worker counts).
                     let detail = format!(
-                        "read of reserved byte {byte} never written since the last clear() \
-                         (generation {generation})"
+                        "read of reserved byte {byte} never written since the last clear()"
                     );
                     record(&mut g, FindingKind::UninitRead, byte, detail);
                 } else if b.wsync == sync && b.wstage != stage_id {

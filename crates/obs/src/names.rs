@@ -83,6 +83,9 @@ pub const FALLBACKS_TOTAL: &str = "fastz_fallbacks_total";
 pub const SKIPPED_SEEDS_TOTAL: &str = "fastz_skipped_seeds_total";
 /// Checkpoint files written.
 pub const CHECKPOINTS_WRITTEN_TOTAL: &str = "fastz_checkpoints_written_total";
+/// Checkpoints found on disk but rejected (torn file, foreign
+/// fingerprint) instead of resumed from.
+pub const CHECKPOINTS_REJECTED_TOTAL: &str = "fastz_checkpoints_rejected_total";
 /// Problems restored from a checkpoint.
 pub const RESTORED_PROBLEMS_TOTAL: &str = "fastz_restored_problems_total";
 /// Anchors re-dispatched away from lost devices.
@@ -174,6 +177,39 @@ pub const BANK_MAX_WAYS: &str = "fastz_bank_conflict_max_ways";
 pub const BANK_SERIALIZATION_RATIO: &str = "fastz_roofline_bank_serialization_ratio";
 
 // ---------------------------------------------------------------------------
+// Alignment service (`fastz-serve`). All series are emitted on every
+// service run — zeros when a class never fired — so the exported set
+// never depends on traffic shape (zero-emission discipline).
+// ---------------------------------------------------------------------------
+
+/// Requests waiting in the admission queue (gauge, sampled at each
+/// scheduler step; the exported value is the final depth).
+pub const SERVE_QUEUE_DEPTH: &str = "fastz_serve_queue_depth";
+/// Peak queue depth observed over the run.
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "fastz_serve_queue_depth_peak";
+/// Requests admitted past admission control (label `priority`).
+pub const SERVE_ADMITTED_TOTAL: &str = "fastz_serve_admitted_total";
+/// Requests shed — rejected at admission or dropped under overload
+/// (labels `priority`, `reason` ∈ queue-full|budget|overload).
+pub const SERVE_SHED_TOTAL: &str = "fastz_serve_shed_total";
+/// Admitted requests whose deadline expired before completion
+/// (label `priority`).
+pub const SERVE_DEADLINE_MISSED_TOTAL: &str = "fastz_serve_deadline_missed_total";
+/// Admitted requests completed at full fidelity (label `priority`).
+pub const SERVE_COMPLETED_TOTAL: &str = "fastz_serve_completed_total";
+/// Admitted requests served degraded — scalar path or skip-with-record
+/// under overload/faults (label `priority`).
+pub const SERVE_DEGRADED_TOTAL: &str = "fastz_serve_degraded_total";
+/// Cross-request merged executor launches formed by the bin packer.
+pub const SERVE_MERGED_LAUNCHES_TOTAL: &str = "fastz_serve_merged_launches_total";
+
+/// Fill ratio of cross-request merged bin launches (occupied warp slots
+/// over batch capacity), one observation per merged launch.
+pub const SERVE_BIN_FILL_HIST: &str = "fastz_serve_bin_fill_ratio";
+/// Bucket bounds for [`SERVE_BIN_FILL_HIST`] (fractions of a full bin).
+pub const SERVE_BIN_FILL_BUCKETS: [f64; 5] = [0.25, 0.5, 0.75, 0.9, 1.0];
+
+// ---------------------------------------------------------------------------
 // Histograms
 // ---------------------------------------------------------------------------
 
@@ -210,6 +246,17 @@ pub fn sanitize_kind(kind: &str) -> String {
     labeled(SANITIZE_FINDINGS_TOTAL, "kind", kind)
 }
 
+/// `base{priority="<priority>"}` convenience for the service counters.
+pub fn priority(base: &str, priority: &str) -> String {
+    labeled(base, "priority", priority)
+}
+
+/// `fastz_serve_shed_total{priority="<priority>",reason="<reason>"}`
+/// convenience.
+pub fn shed(priority: &str, reason: &str) -> String {
+    format!("{SERVE_SHED_TOTAL}{{priority=\"{priority}\",reason=\"{reason}\"}}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +275,14 @@ mod tests {
         assert_eq!(
             sanitize_kind("uninit_read"),
             "fastz_sanitize_findings_total{kind=\"uninit_read\"}"
+        );
+        assert_eq!(
+            priority(SERVE_ADMITTED_TOTAL, "high"),
+            "fastz_serve_admitted_total{priority=\"high\"}"
+        );
+        assert_eq!(
+            shed("low", "queue-full"),
+            "fastz_serve_shed_total{priority=\"low\",reason=\"queue-full\"}"
         );
     }
 

@@ -1,0 +1,222 @@
+//! Bounded admission queue with a modeled-work budget.
+//!
+//! Admission control is two-dimensional: a *depth* cap bounds latency
+//! (a request that would wait behind `queue_cap` others is better told
+//! "no" immediately) and a *work* budget bounds memory and modeled GPU
+//! time in flight (a thousand one-anchor requests and one thousand-
+//! anchor request are not the same load). Both rejections carry the
+//! numbers that triggered them.
+
+use crate::request::{AlignRequest, ShedReason};
+
+/// Admission-control limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPolicy {
+    /// Maximum queued (admitted, not yet dispatched) requests.
+    pub queue_cap: usize,
+    /// Maximum summed [`AlignRequest::work_units`] across the queue.
+    pub work_budget: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_cap: 32,
+            work_budget: 4096.0,
+        }
+    }
+}
+
+/// One queued entry: the request plus its admission-time bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Queued {
+    /// The admitted request.
+    pub request: AlignRequest,
+    /// Absolute deadline on the virtual clock.
+    pub deadline_abs_s: f64,
+    /// FIFO sequence number (tie-break within a priority).
+    pub seq: u64,
+}
+
+/// The bounded admission queue. Dispatch order is priority-major
+/// (High before Normal before Low), FIFO within a priority — a pure
+/// function of the admission sequence, so scheduling decisions are
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionQueue {
+    policy: AdmissionPolicy,
+    items: Vec<Queued>,
+    queued_work: f64,
+    next_seq: u64,
+    peak_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> AdmissionQueue {
+        AdmissionQueue {
+            policy,
+            ..AdmissionQueue::default()
+        }
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Deepest the queue has been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Summed work units currently queued.
+    pub fn queued_work(&self) -> f64 {
+        self.queued_work
+    }
+
+    /// Saturation pressure in `[0, 1]`: depth over capacity. The
+    /// degradation ladder keys on this.
+    pub fn pressure(&self) -> f64 {
+        self.items.len() as f64 / self.policy.queue_cap.max(1) as f64
+    }
+
+    /// Admits `request` (with its precomputed absolute deadline) or
+    /// rejects it with the reason.
+    pub fn try_admit(
+        &mut self,
+        request: AlignRequest,
+        deadline_abs_s: f64,
+    ) -> Result<(), ShedReason> {
+        if self.items.len() >= self.policy.queue_cap {
+            return Err(ShedReason::QueueFull {
+                depth: self.items.len(),
+                cap: self.policy.queue_cap,
+            });
+        }
+        let incoming = request.work_units();
+        if self.queued_work + incoming > self.policy.work_budget {
+            return Err(ShedReason::WorkBudget {
+                queued: self.queued_work,
+                incoming,
+                budget: self.policy.work_budget,
+            });
+        }
+        self.queued_work += incoming;
+        self.items.push(Queued {
+            request,
+            deadline_abs_s,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        self.peak_depth = self.peak_depth.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the next request to dispatch: highest
+    /// priority, FIFO within it. `None` when empty.
+    pub fn pop(&mut self) -> Option<Queued> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (q.request.priority.rank(), q.seq))?
+            .0;
+        let q = self.items.remove(best);
+        self.queued_work -= q.request.work_units();
+        Some(q)
+    }
+
+    /// Queued ids whose deadline has already passed at `now_s`; they
+    /// should be drained as deadline errors without running.
+    pub fn expired(&self, now_s: f64) -> Vec<u64> {
+        self.items
+            .iter()
+            .filter(|q| now_s >= q.deadline_abs_s)
+            .map(|q| q.request.id)
+            .collect()
+    }
+
+    /// Removes one queued request by id (deadline-expiry drain).
+    pub fn remove(&mut self, id: u64) -> Option<Queued> {
+        let at = self.items.iter().position(|q| q.request.id == id)?;
+        let q = self.items.remove(at);
+        self.queued_work -= q.request.work_units();
+        Some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+
+    fn req(id: u64, anchors: usize, priority: Priority) -> AlignRequest {
+        AlignRequest::new(
+            id,
+            vec![
+                fastz_seed::Anchor {
+                    target_pos: 0,
+                    query_pos: 0,
+                };
+                anchors
+            ],
+            19,
+        )
+        .with_priority(priority)
+    }
+
+    #[test]
+    fn depth_cap_and_work_budget_reject_with_reason() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy {
+            queue_cap: 2,
+            work_budget: 10.0,
+        });
+        q.try_admit(req(0, 4, Priority::Normal), 1.0).unwrap();
+        q.try_admit(req(1, 4, Priority::Normal), 1.0).unwrap();
+        match q.try_admit(req(2, 1, Priority::High), 1.0) {
+            Err(ShedReason::QueueFull { depth: 2, cap: 2 }) => {}
+            other => panic!("expected queue-full, got {other:?}"),
+        }
+        q.pop().unwrap();
+        match q.try_admit(req(3, 8, Priority::High), 1.0) {
+            Err(ShedReason::WorkBudget { .. }) => {}
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.peak_depth(), 2);
+    }
+
+    #[test]
+    fn dispatch_is_priority_major_fifo_within() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::default());
+        for (id, p) in [
+            (0, Priority::Low),
+            (1, Priority::Normal),
+            (2, Priority::High),
+            (3, Priority::Normal),
+            (4, Priority::High),
+        ] {
+            q.try_admit(req(id, 1, p), 1.0).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.request.id)).collect();
+        assert_eq!(order, [2, 4, 1, 3, 0]);
+        assert_eq!(q.queued_work(), 0.0);
+    }
+
+    #[test]
+    fn expired_entries_are_drainable() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::default());
+        q.try_admit(req(0, 1, Priority::Normal), 0.5).unwrap();
+        q.try_admit(req(1, 1, Priority::Normal), 2.0).unwrap();
+        assert_eq!(q.expired(1.0), [0]);
+        assert!(q.remove(0).is_some());
+        assert!(q.remove(0).is_none());
+        assert!(q.expired(1.0).is_empty());
+    }
+}

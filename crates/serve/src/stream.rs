@@ -1,0 +1,130 @@
+//! Threaded streaming front end over the deterministic service core.
+//!
+//! [`ServiceHandle::submit`] hands a request to the service thread and
+//! returns a bounded per-request channel on which results stream back:
+//! alignment chunks first, then the terminal [`RequestRecord`]. Both
+//! channel hops are bounded (`sync_channel`), so backpressure is
+//! end-to-end — a slow consumer stalls its own result stream, a full
+//! submission queue stalls submitters, and neither can balloon memory.
+//!
+//! The service thread drains whatever submissions are waiting and runs
+//! them as one batch through [`AlignService::run`] — the same
+//! deterministic core the chaos-soak test drives — so admission
+//! control, deadlines, priority degradation, and cross-request batched
+//! binning all apply to live traffic exactly as they do offline. Wall
+//! clock still never enters outcome decisions; the virtual arrival time
+//! of a drained batch is the order it was submitted in.
+
+use crate::request::{AlignRequest, RequestRecord};
+use crate::service::{AlignService, ServeConfig, ServeReport};
+use fastz_align::Alignment;
+use fastz_genome::Sequence;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// One message on a request's result stream.
+#[derive(Clone, Debug)]
+pub enum Delivery {
+    /// A chunk of the request's alignments (streamed in order).
+    Alignments(Vec<Alignment>),
+    /// The terminal record; always the last message.
+    Done(RequestRecord),
+}
+
+struct Job {
+    request: AlignRequest,
+    results: SyncSender<Delivery>,
+}
+
+/// Client handle to a running service thread.
+pub struct ServiceHandle {
+    jobs: SyncSender<Job>,
+    join: JoinHandle<ServeReport>,
+    next_id: std::sync::atomic::AtomicU64,
+    chunk: usize,
+}
+
+/// Spawns the service thread over an owned (target, query) pair.
+///
+/// `chunk` is the alignment-streaming granularity; the submission queue
+/// is bounded by the admission policy's queue capacity.
+pub fn spawn(target: Sequence, query: Sequence, cfg: ServeConfig, chunk: usize) -> ServiceHandle {
+    let cap = cfg.admission.queue_cap.max(1);
+    let chunk = chunk.max(1);
+    let (jobs_tx, jobs_rx) = sync_channel::<Job>(cap);
+    let join = std::thread::spawn(move || {
+        let service = AlignService::new(&target, &query, cfg);
+        let mut total = ServeReport::default();
+        // Block for the first job of each batch, then drain whatever
+        // else queued up behind it: concurrent traffic is served
+        // co-batched, a lone request is served solo — with identical
+        // per-request bits either way.
+        while let Ok(first) = jobs_rx.recv() {
+            let mut jobs = vec![first];
+            while let Ok(job) = jobs_rx.try_recv() {
+                jobs.push(job);
+            }
+            let requests: Vec<AlignRequest> = jobs.iter().map(|j| j.request.clone()).collect();
+            let report = service.run(&requests);
+            for job in &jobs {
+                let record = report
+                    .records
+                    .iter()
+                    .find(|r| r.id == job.request.id)
+                    .expect("every submitted request has exactly one record")
+                    .clone();
+                for piece in record.alignments.chunks(chunk) {
+                    // A receiver that hung up forfeits its stream; the
+                    // service keeps going.
+                    if job
+                        .results
+                        .send(Delivery::Alignments(piece.to_vec()))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                let _ = job.results.send(Delivery::Done(record));
+            }
+            total.merge(report);
+        }
+        total
+    });
+    ServiceHandle {
+        jobs: jobs_tx,
+        join,
+        next_id: std::sync::atomic::AtomicU64::new(0),
+        chunk,
+    }
+}
+
+impl ServiceHandle {
+    /// Streaming granularity (alignments per chunk).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Submits a request, assigning it the next service-unique id, and
+    /// returns its bounded result stream. Blocks when the submission
+    /// queue is full (backpressure).
+    pub fn submit(&self, mut request: AlignRequest) -> Receiver<Delivery> {
+        request.id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (tx, rx) = sync_channel(2);
+        self.jobs
+            .send(Job {
+                request,
+                results: tx,
+            })
+            .expect("service thread alive while handle exists");
+        rx
+    }
+
+    /// Closes the submission queue, waits for in-flight work, and
+    /// returns the aggregated report.
+    pub fn finish(self) -> ServeReport {
+        drop(self.jobs);
+        self.join.join().expect("service thread panicked")
+    }
+}
