@@ -8,6 +8,10 @@
 //!
 //! options:
 //!   --engine fastz|lastz|multicore   extension engine (default fastz)
+//!   --extend ydrop|bitvector         extension algorithm for the fastz
+//!                                    engine: the paper's affine y-drop, or
+//!                                    the GenASM/Scrooge-style bitvector
+//!                                    edit-distance backend (default ydrop)
 //!   --device pascal|volta|ampere     GPU to model (default ampere)
 //!   --threads N                      multicore workers (default 16)
 //!   --sim-threads N                  host threads for the FastZ functional
@@ -30,6 +34,11 @@
 //!                                    admission queue, and print the deduped
 //!                                    union (fastz engine only; --checkpoint
 //!                                    and --both-strands do not apply)
+//!   --prefilter                      with --serve: enable the bitvector
+//!                                    cheap-reject rung — anchors provably
+//!                                    below the gapped threshold are dropped
+//!                                    before dispatch (sound: the served
+//!                                    alignments are unchanged)
 //!   --fault-plan SEED                inject a seeded fault schedule (hangs,
 //!                                    bit flips, stalls, shmem pressure) and
 //!                                    recover through the resilient dispatcher;
@@ -58,7 +67,9 @@ use fastz_align::{
     dedupe_alignments, multicore_gapped, sequential_gapped, write_general, write_maf, Alignment,
     DriverConfig,
 };
-use fastz_core::{run_fastz, run_fastz_observed, FastZConfig, ResilienceConfig};
+use fastz_core::{
+    run_fastz, run_fastz_observed, ExtendBackend, FastZConfig, PrefilterConfig, ResilienceConfig,
+};
 use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
 use fastz_gpu_sim::{DeviceSpec, FaultPlan};
 use fastz_obs::{export, NoObs, Recorder};
@@ -71,6 +82,7 @@ struct Options {
     target: Option<String>,
     query: Option<String>,
     engine: String,
+    extend: String,
     device: String,
     threads: usize,
     sim_threads: usize,
@@ -84,6 +96,7 @@ struct Options {
     format: String,
     emit_fasta: Option<String>,
     serve: usize,
+    prefilter: bool,
     fault_plan: Option<u64>,
     checkpoint: Option<String>,
     metrics_out: Option<String>,
@@ -95,10 +108,12 @@ struct Options {
 impl Options {
     fn usage() -> &'static str {
         "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
+         [--extend ydrop|bitvector] \
          [--device pascal|volta|ampere] [--threads N] [--sim-threads N] \
          [--seed exact19|12of19] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
-         [--serve N] [--fault-plan SEED] [--checkpoint FILE] [--metrics-out FILE] \
+         [--serve N] [--prefilter] [--fault-plan SEED] [--checkpoint FILE] \
+         [--metrics-out FILE] \
          [--trace-out FILE] [--sanitize] [--sanitize-out FILE] [--stats]"
     }
 
@@ -107,6 +122,7 @@ impl Options {
             target: None,
             query: None,
             engine: "fastz".into(),
+            extend: "ydrop".into(),
             device: "ampere".into(),
             threads: 16,
             sim_threads: 0,
@@ -120,6 +136,7 @@ impl Options {
             format: "tsv".into(),
             emit_fasta: None,
             serve: 0,
+            prefilter: false,
             fault_plan: None,
             checkpoint: None,
             metrics_out: None,
@@ -136,6 +153,7 @@ impl Options {
             };
             match arg.as_str() {
                 "--engine" => opts.engine = grab("--engine")?,
+                "--extend" => opts.extend = grab("--extend")?,
                 "--device" => opts.device = grab("--device")?,
                 "--threads" => {
                     opts.threads = grab("--threads")?
@@ -172,6 +190,7 @@ impl Options {
                             .map_err(|_| "--fault-plan must be a seed number".to_string())?,
                     )
                 }
+                "--prefilter" => opts.prefilter = true,
                 "--checkpoint" => opts.checkpoint = Some(grab("--checkpoint")?),
                 "--metrics-out" => opts.metrics_out = Some(grab("--metrics-out")?),
                 "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
@@ -277,6 +296,14 @@ fn main() -> ExitCode {
         };
         eprintln!("fastz: scores loaded from {path}");
     }
+    let Some(extend) = extend_preset(&opts.extend) else {
+        eprintln!("fastz: unknown extension algorithm {}", opts.extend);
+        return ExitCode::FAILURE;
+    };
+    if extend != ExtendBackend::YDrop && opts.engine != "fastz" {
+        eprintln!("fastz: --extend applies to the fastz engine only");
+        return ExitCode::FAILURE;
+    }
     let shape = match opts.seed.as_str() {
         "exact19" => SeedShape::exact(19),
         "12of19" => SeedShape::lastz_12of19(),
@@ -326,6 +353,7 @@ fn main() -> ExitCode {
         };
         let cfg = FastZConfig {
             sim_threads: opts.sim_threads,
+            extend_backend: extend,
             ..FastZConfig::new(scoring, device)
         };
         let alignments = match serve_front_end(&target, &query, &workload.anchors, span, cfg, &opts)
@@ -386,6 +414,7 @@ fn main() -> ExitCode {
             let cfg = FastZConfig {
                 sim_threads: opts.sim_threads,
                 sanitize: opts.sanitize || opts.sanitize_out.is_some(),
+                extend_backend: extend,
                 ..FastZConfig::new(scoring, device)
             };
             let rcfg = ResilienceConfig {
@@ -564,6 +593,14 @@ fn scoring_preset(name: &str) -> Option<Scoring> {
     }
 }
 
+fn extend_preset(name: &str) -> Option<ExtendBackend> {
+    match name {
+        "ydrop" => Some(ExtendBackend::YDrop),
+        "bitvector" => Some(ExtendBackend::Bitvector),
+        _ => None,
+    }
+}
+
 fn device_preset(name: &str) -> Option<DeviceSpec> {
     match name {
         "pascal" => Some(DeviceSpec::titan_x_pascal()),
@@ -600,6 +637,9 @@ fn serve_front_end(
     if let Some(seed) = opts.fault_plan {
         scfg = scfg.with_chaos(FaultPlan::from_seed(seed));
     }
+    if opts.prefilter {
+        scfg = scfg.with_prefilter(PrefilterConfig::default());
+    }
     let service = AlignService::new(target, query, scfg);
     let mut rec = Recorder::new();
     let report = if opts.metrics_out.is_some() {
@@ -629,6 +669,12 @@ fn serve_front_end(
          ({} merged launches)",
         report.makespan_s, report.batched_exec_s, report.solo_exec_s, report.merged_launches,
     );
+    if opts.prefilter {
+        eprintln!(
+            "fastz: prefilter rejected {} of {} probed anchors",
+            report.prefilter_rejected, report.prefilter_probed,
+        );
+    }
     if opts.fault_plan.is_some() || opts.stats {
         eprintln!("fastz: resilience: {}", report.resilience.summary());
     }
@@ -754,6 +800,20 @@ mod tests {
         assert!(Options::parse(&sv(&["--serve"])).is_err());
         assert!(Options::parse(&sv(&["--serve", "many"])).is_err());
         assert_eq!(Options::parse(&[]).unwrap().serve, 0);
+    }
+
+    #[test]
+    fn extend_and_prefilter_flags() {
+        let o = Options::parse(&sv(&["--extend", "bitvector", "--prefilter"])).unwrap();
+        assert_eq!(o.extend, "bitvector");
+        assert!(o.prefilter);
+        assert_eq!(extend_preset(&o.extend), Some(ExtendBackend::Bitvector));
+        let none = Options::parse(&[]).unwrap();
+        assert_eq!(none.extend, "ydrop");
+        assert!(!none.prefilter);
+        assert_eq!(extend_preset("ydrop"), Some(ExtendBackend::YDrop));
+        assert_eq!(extend_preset("banded"), None);
+        assert!(Options::parse(&sv(&["--extend"])).is_err());
     }
 
     #[test]

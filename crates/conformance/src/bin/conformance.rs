@@ -4,7 +4,8 @@
 //! ```text
 //! conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]
 //!             [--corrupt DELTA] [--fault-seed S] [--sanitize]
-//!             [--engine interpreter|simd] [--replay CATEGORY:SEED]
+//!             [--engine interpreter|simd|bitvector]
+//!             [--replay CATEGORY:SEED]
 //! ```
 //!
 //! Exit status: 0 when every invariant held, 1 when any divergence was
@@ -27,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
          \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
-         \x20                  [--sanitize] [--serve] [--engine interpreter|simd]\n\
+         \x20                  [--sanitize] [--serve]\n\
+         \x20                  [--engine interpreter|simd|bitvector]\n\
          \x20                  [--replay CATEGORY:SEED]\n\
          \n\
          Fuzzes N reproducible pairs through the scalar exact, scalar\n\
@@ -52,8 +54,13 @@ fn usage() -> ! {
          change nothing observable while accounting for every fault.\n\
          --engine picks the warp engine's wavefront backend\n\
          (interpreter or simd) for the whole suite; every invariant must\n\
-         hold identically on either. --replay re-runs one case by its\n\
-         reported category and seed."
+         hold identically on either. --engine bitvector instead turns on\n\
+         the cross-algorithm drill: the GenASM/Scrooge-style bitvector\n\
+         backend against the dense edit-distance oracle and the affine\n\
+         y-drop oracle on every corpus case — exact score agreement on\n\
+         the unit-cost overlap domain, documented inequalities\n\
+         elsewhere. --replay re-runs one case by its reported category\n\
+         and seed."
     );
     std::process::exit(2);
 }
@@ -92,16 +99,15 @@ fn parse_args() -> Args {
             }
             "--sanitize" => args.config.sanitize = true,
             "--serve" => args.serve = true,
-            "--engine" => {
-                args.config.backend = match value("--engine").as_str() {
-                    "interpreter" => WavefrontBackend::Interpreter,
-                    "simd" => WavefrontBackend::Simd,
-                    other => {
-                        eprintln!("unknown engine {other} (want interpreter or simd)");
-                        usage();
-                    }
+            "--engine" => match value("--engine").as_str() {
+                "interpreter" => args.config.backend = WavefrontBackend::Interpreter,
+                "simd" => args.config.backend = WavefrontBackend::Simd,
+                "bitvector" => args.config.bitvector = true,
+                other => {
+                    eprintln!("unknown engine {other} (want interpreter, simd, or bitvector)");
+                    usage();
                 }
-            }
+            },
             "--replay" => {
                 let spec = value("--replay");
                 let Some((cat, seed)) = spec.split_once(':') else {

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod crossalg;
 pub mod engines;
 pub mod invariants;
 pub mod oracle;
@@ -22,9 +23,10 @@ pub mod sanitize;
 pub mod serve;
 
 pub use corpus::{bin_boundary_cases, fuzz_corpus, make_case, Case, Category};
+pub use crossalg::check_bitvec_case;
 pub use engines::{run_case, CaseRun};
 pub use invariants::{check_case, rescore_ops};
-pub use oracle::{oracle_extend, OracleRun};
+pub use oracle::{edit_oracle, oracle_extend, EditOracleRun, OracleRun};
 pub use report::{CellDiff, Divergence, SuiteReport};
 
 use fastz_core::WavefrontBackend;
@@ -40,6 +42,26 @@ pub fn suite_scoring() -> Scoring {
         xdrop: 40,
         hsp_threshold: 50,
         gapped_threshold: 50,
+    }
+}
+
+/// The unit-cost scoring regime where the affine y-drop algorithm and
+/// the bitvector edit-distance algorithm must agree *exactly*: +2 per
+/// match, −1 per mismatch, −2 per gap base (`GapPenalties::new(0, 2)`
+/// makes open free so every gap base costs exactly 2), and a y-drop so
+/// large pruning never fires on suite-sized inputs. Under this regime
+/// every alignment path scores `(i + j) − 3·ED_path`, so the affine
+/// optimum over the full rectangle equals
+/// `max_{i,j} (i + j) − 3·ED(i, j)` — the quantity the bitvector
+/// engine maximizes.
+pub fn unit_scoring() -> Scoring {
+    Scoring {
+        subst: SubstMatrix::match_mismatch(2, -1),
+        gaps: GapPenalties::new(0, 2),
+        ydrop: 1 << 20,
+        xdrop: 1 << 20,
+        hsp_threshold: 0,
+        gapped_threshold: 0,
     }
 }
 
@@ -73,6 +95,13 @@ pub struct SuiteConfig {
     /// either backend, and the per-case backend-identity drill compares
     /// the two directly regardless of this setting.
     pub backend: WavefrontBackend,
+    /// Run the cross-algorithm bitvector drill on every corpus case
+    /// (the CLI's `--engine bitvector`): the GenASM-style bitvector
+    /// backend against the dense edit-distance oracle and the affine
+    /// y-drop oracle — exact agreement on the unit-cost overlap
+    /// domain, documented inequalities elsewhere (see
+    /// [`crossalg`]).
+    pub bitvector: bool,
 }
 
 impl Default for SuiteConfig {
@@ -86,6 +115,7 @@ impl Default for SuiteConfig {
             fault_seed: None,
             sanitize: false,
             backend: WavefrontBackend::default(),
+            bitvector: false,
         }
     }
 }
@@ -124,6 +154,17 @@ pub fn run_suite(config: &SuiteConfig) -> SuiteReport {
         // not the backend contract).
         if config.corrupt_warp_match == 0 {
             let (checks, divergences) = engines::check_backend_identity(case, &scoring);
+            report.checks += checks;
+            report.divergences.extend(divergences);
+        }
+
+        // Cross-algorithm drill: the bitvector edit-distance backend
+        // against the dense edit oracle and the affine y-drop oracle,
+        // under the agreement/inequality contract (skipped under
+        // --corrupt, which perturbs the warp engine only).
+        if config.bitvector && config.corrupt_warp_match == 0 {
+            let (checks, divergences) =
+                crossalg::check_bitvec_case(case, &fastz_core::BitvecConfig::default(), &scoring);
             report.checks += checks;
             report.divergences.extend(divergences);
         }

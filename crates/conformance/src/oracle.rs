@@ -158,6 +158,80 @@ pub fn oracle_extend(target: &[u8], query: &[u8], scoring: &Scoring, mode: Prune
     }
 }
 
+/// Result of the dense edit-distance (unit-cost) oracle.
+///
+/// This is the reference the bitvector backend is checked against: the
+/// full `(m+1)×(n+1)` Levenshtein matrix, written the boring way, plus
+/// the best cell under the unit-cost *score* identity
+/// `score(i, j) = (i + j) − 3·ED(i, j)` (+2 per match, −1 per
+/// mismatch, −2 per gap base — exactly the regime the bitvector engine
+/// optimizes, and exactly what the affine engine computes under
+/// [`crate::unit_scoring`]).
+#[derive(Clone, Debug)]
+pub struct EditOracleRun {
+    /// `(m+1)·(n+1)` distances, row-major (`i` = query rows).
+    dist: Vec<u32>,
+    /// Row stride (`n + 1`).
+    cols: usize,
+    /// Best unit-cost score over all cells (the origin scores 0, so
+    /// this is never negative).
+    pub best_score: i32,
+    /// Query bases consumed at the best cell.
+    pub best_i: usize,
+    /// Target bases consumed at the best cell.
+    pub best_j: usize,
+}
+
+impl EditOracleRun {
+    /// Edit distance of the `(i, j)` prefix pair.
+    pub fn ed(&self, i: usize, j: usize) -> u32 {
+        self.dist[i * self.cols + j]
+    }
+
+    /// Unit-cost score of the `(i, j)` prefix pair.
+    pub fn unit_score(&self, i: usize, j: usize) -> i32 {
+        (i + j) as i32 - 3 * self.ed(i, j) as i32
+    }
+}
+
+/// Runs the dense unit-cost edit-distance DP over codes ("match" is
+/// code equality, the same convention the bitvector match masks use).
+/// Intended for bounded inputs; the suite caps `m·n` before calling.
+pub fn edit_oracle(target: &[u8], query: &[u8]) -> EditOracleRun {
+    let n = target.len();
+    let m = query.len();
+    let cols = n + 1;
+    let mut dist = vec![0u32; (m + 1) * cols];
+    for (j, slot) in dist[..cols].iter_mut().enumerate() {
+        *slot = j as u32;
+    }
+    let mut best_score = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+    for i in 1..=m {
+        dist[i * cols] = i as u32;
+        for j in 1..=n {
+            let sub = u32::from(target[j - 1] != query[i - 1]);
+            let d = (dist[(i - 1) * cols + j - 1] + sub)
+                .min(dist[(i - 1) * cols + j] + 1)
+                .min(dist[i * cols + j - 1] + 1);
+            dist[i * cols + j] = d;
+            let score = (i + j) as i32 - 3 * d as i32;
+            if score > best_score {
+                best_score = score;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+    EditOracleRun {
+        dist,
+        cols,
+        best_score,
+        best_i,
+        best_j,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +267,39 @@ mod tests {
         let r = oracle_extend(&t, &q, &scoring(), PruneMode::Exact);
         assert_eq!(r.best_score, 80); // 12 matches − (30 + 2·5)
         assert_eq!((r.best_i, r.best_j), (12, 14));
+    }
+
+    #[test]
+    fn edit_oracle_matches_hand_counts() {
+        let t = codes(b"ACGTACGT");
+        let r = edit_oracle(&t, &t);
+        assert_eq!(r.ed(8, 8), 0);
+        assert_eq!(r.best_score, 16); // 8 matches · +2
+        assert_eq!((r.best_i, r.best_j), (8, 8));
+
+        // One substitution: ED(8,8) = 1, best full-length score 16−3.
+        let q = codes(b"ACGAACGT");
+        let r = edit_oracle(&t, &q);
+        assert_eq!(r.ed(8, 8), 1);
+        assert_eq!(r.unit_score(8, 8), 13);
+
+        // One deletion from the query: kitten-style banding sanity.
+        let q = codes(b"ACGTCGT");
+        let r = edit_oracle(&t, &q);
+        assert_eq!(r.ed(7, 8), 1);
+    }
+
+    #[test]
+    fn edit_oracle_agrees_with_affine_unit_regime() {
+        // Under unit scoring the affine DP and the edit identity must
+        // produce the same best score: the overlap-domain contract in
+        // miniature.
+        let t = codes(b"ACGTACGTTTACGGACGTAC");
+        let q = codes(b"ACGTACGAAACGGACGTTAC");
+        let unit = crate::unit_scoring();
+        let affine = oracle_extend(&t, &q, &unit, PruneMode::Exact);
+        let edit = edit_oracle(&t, &q);
+        assert_eq!(affine.best_score, edit.best_score);
     }
 
     #[test]

@@ -22,6 +22,10 @@ fn small_config() -> SuiteConfig {
         // `--sanitize` path through `run_suite` end to end.
         sanitize: true,
         backend: fastz_core::WavefrontBackend::default(),
+        // The cross-algorithm bitvector drill rides along so the
+        // agreement/inequality contract stays exercised in tier-1
+        // (CI's bitvector job runs it at 500 pairs).
+        bitvector: true,
     }
 }
 

@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod binning;
+pub mod bitvec;
 pub mod cost;
 pub mod gpu_baseline;
 pub mod layout;
@@ -24,6 +25,10 @@ pub use ablation::OptFlags;
 pub use binning::{
     bin_allocation, classify, BinClass, BinCounts, BinPacker, LaunchDemux, MergedLaunch,
     TaggedTask, BIN_BOUNDS, BIN_SLOTS, EAGER_BOUND,
+};
+pub use bitvec::{
+    bitvec_extend, bitvec_extend_in, prefilter_anchors, BitvecConfig, BitvecExtension,
+    BitvecMutation, BitvecStats, ExtendBackend, PrefilterConfig,
 };
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
 pub use multi_gpu::{

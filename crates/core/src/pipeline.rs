@@ -10,6 +10,7 @@
 
 use crate::ablation::OptFlags;
 use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
+use crate::bitvec::{bitvec_extend_in, BitvecConfig, BitvecExtension, BitvecStats, ExtendBackend};
 use crate::cost::price_task;
 use crate::pool::{HostDispatch, HostPool};
 use crate::resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
@@ -84,6 +85,17 @@ pub struct FastZConfig {
     /// time are bit-identical either way — the sanitizer never touches
     /// the work counters.
     pub sanitize: bool,
+    /// Extension algorithm. [`ExtendBackend::YDrop`] (the default) is
+    /// the paper's affine-gap machinery; [`ExtendBackend::Bitvector`]
+    /// swaps in the GenASM/Scrooge windowed edit-distance engine, which
+    /// scores in the unit regime (`(i+j) − 3·ed`) and resolves every
+    /// problem with a full traceback in the inspector phase (no
+    /// executor residue). Unlike [`FastZConfig::backend`], this is a
+    /// *semantic* switch — scores and alignments differ between
+    /// algorithms, so it rides in the checkpoint fingerprint.
+    pub extend_backend: ExtendBackend,
+    /// Window geometry for the bitvector backend (ignored under y-drop).
+    pub bitvec: BitvecConfig,
 }
 
 impl FastZConfig {
@@ -100,6 +112,8 @@ impl FastZConfig {
             strip_width: WARP_SIZE,
             backend: WavefrontBackend::default(),
             sanitize: false,
+            extend_backend: ExtendBackend::default(),
+            bitvec: BitvecConfig::default(),
         }
     }
 }
@@ -119,6 +133,8 @@ pub struct FastZStats {
     pub inspector: KernelCounters,
     /// Executor work counters.
     pub executor: KernelCounters,
+    /// Bitvector work-reduction counters (all zero under y-drop).
+    pub bitvec: BitvecStats,
 }
 
 /// Result of a FastZ run.
@@ -202,6 +218,7 @@ pub(crate) struct SideResult {
     pub(crate) eager_ops: Option<Vec<EditOp>>,
     pub(crate) task: WarpTask,
     pub(crate) counters: fastz_gpu_sim::WarpCounters,
+    pub(crate) bitvec: BitvecStats,
 }
 
 impl SideResult {
@@ -322,30 +339,52 @@ fn extend_resilient(
     q: &[u8],
     scoring: &Scoring,
     warp_cfg: &WarpConfig,
+    backend: ExtendBackend,
+    bvcfg: &BitvecConfig,
     shared: &mut SharedMem,
     tbm: &mut Vec<u8>,
     rcfg: &ResilienceConfig,
     unit: u64,
     clock_hz: f64,
 ) -> (SideResult, ProblemLog) {
+    // One clean attempt of the configured algorithm. The bitvector
+    // engine has no strip-width ladder — its deterministic re-run *is*
+    // the degraded rung — so `scalar` only reshapes the y-drop path.
+    fn attempt_once(
+        t: &[u8],
+        q: &[u8],
+        scoring: &Scoring,
+        warp_cfg: &WarpConfig,
+        backend: ExtendBackend,
+        bvcfg: &BitvecConfig,
+        shared: &mut SharedMem,
+        tbm: &mut Vec<u8>,
+        scalar: bool,
+    ) -> SideResult {
+        match backend {
+            ExtendBackend::YDrop => {
+                let engine_cfg = if scalar {
+                    warp_cfg.with_strip_width(1)
+                } else {
+                    *warp_cfg
+                };
+                side_result(warp_extend_in(t, q, scoring, &engine_cfg, shared, tbm))
+            }
+            ExtendBackend::Bitvector => side_result_bitvec(bitvec_extend_in(t, q, bvcfg, shared)),
+        }
+    }
     let mut log = ProblemLog::default();
     if rcfg.plan.is_none() {
-        let ext = warp_extend_in(t, q, scoring, warp_cfg, shared, tbm);
-        return (side_result(ext), log);
+        let r = attempt_once(t, q, scoring, warp_cfg, backend, bvcfg, shared, tbm, false);
+        return (r, log);
     }
     let site = FaultSite::new(rcfg.device_ord, scope::PROBLEM, unit);
     let budget = rcfg.attempt_budget();
     let mut attempt = 0u32;
     loop {
         let scalar = attempt >= rcfg.max_problem_retries;
-        let engine_cfg = if scalar {
-            warp_cfg.with_strip_width(1)
-        } else {
-            *warp_cfg
-        };
         shared.clear();
-        let ext = warp_extend_in(t, q, scoring, &engine_cfg, shared, tbm);
-        let r = side_result(ext);
+        let r = attempt_once(t, q, scoring, warp_cfg, backend, bvcfg, shared, tbm, scalar);
         if !rcfg.plan.fires(FaultKind::BitFlip, site, attempt) {
             log.fell_back = scalar;
             return (r, log);
@@ -446,13 +485,20 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
     // The strip width rides in the fingerprint's upper bits: a
     // checkpoint written at another width holds the other engine's work
     // counters and must not be restored into this run.
+    // The extension algorithm rides next to the strip width: a y-drop
+    // checkpoint holds affine scores and must not restore into a
+    // bitvector run (and vice versa).
+    let backend_bit = match cfg.extend_backend {
+        ExtendBackend::YDrop => 0u64,
+        ExtendBackend::Bitvector => 1u64,
+    };
     let fingerprint = workload_fingerprint(
         target,
         query,
         anchors,
         seed_span,
         &cfg.scoring,
-        flags_bits(&flags) | (strip_width as u64) << 8,
+        flags_bits(&flags) | (strip_width as u64) << 8 | backend_bit << 16,
     );
     let mut ckpt = Checkpoint::new(fingerprint);
     let mut res = ResilienceReport::default();
@@ -529,6 +575,8 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
                 q,
                 &cfg.scoring,
                 &insp_cfg,
+                cfg.extend_backend,
+                &cfg.bitvec,
                 &mut arena.shared,
                 &mut arena.scratch,
                 rcfg,
@@ -564,6 +612,7 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
     };
     for r in &inspector_results {
         stats.inspector.add_task(&r.counters);
+        stats.bitvec.merge(&r.bitvec);
         sink.observe(
             names::TASK_CYCLES_INSPECTOR_HIST,
             &names::TASK_CYCLES_BUCKETS,
@@ -585,10 +634,17 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
 
     // ---- Partition: eager-resolved vs executor problems ------------------
     // A side is resolved in the inspector iff eager traceback produced its
-    // edit script (requires the flag and a ≤16×16 optimum).
+    // edit script (requires the flag and a ≤16×16 optimum). The bitvector
+    // engine tracebacks every problem in place, so under it a side is
+    // resolved whenever a script exists — always, in practice — and the
+    // executor phase runs empty regardless of the eager flag.
     let mut executor_idx: Vec<usize> = Vec::new();
     for (idx, r) in inspector_results.iter().enumerate() {
-        if flags.eager_traceback && r.eager_ops.is_some() {
+        let resolved = match cfg.extend_backend {
+            ExtendBackend::YDrop => flags.eager_traceback && r.eager_ops.is_some(),
+            ExtendBackend::Bitvector => r.eager_ops.is_some(),
+        };
+        if resolved {
             stats.eager_resolved += 1;
         } else {
             executor_idx.push(idx);
@@ -630,6 +686,7 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
             for &idx in bin {
                 let r = ckpt.executor[&idx].clone();
                 stats.executor.add_task(&r.counters);
+                stats.bitvec.merge(&r.bitvec);
                 sink.observe(
                     names::TASK_CYCLES_EXECUTOR_HIST,
                     &names::TASK_CYCLES_BUCKETS,
@@ -677,6 +734,8 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
                     q,
                     &cfg.scoring,
                     &exec_cfg,
+                    cfg.extend_backend,
+                    &cfg.bitvec,
                     &mut arena.shared,
                     tbm,
                     rcfg,
@@ -687,6 +746,7 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
             for (k, (r, log)) in results.into_iter().enumerate() {
                 absorb(&mut res, &mut skipped, bin[k], &log);
                 stats.executor.add_task(&r.counters);
+                stats.bitvec.merge(&r.bitvec);
                 sink.observe(
                     names::TASK_CYCLES_EXECUTOR_HIST,
                     &names::TASK_CYCLES_BUCKETS,
@@ -751,9 +811,22 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
         let qc = query.codes();
         let t0 = anchor.target_pos as usize;
         let q0 = anchor.query_pos as usize;
+        // The seed must be scored in the same regime as the sides it
+        // joins: substitution-matrix scores under y-drop, the unit
+        // identity (match +2, mismatch −1: `(i+j) − 3·ed` over one
+        // aligned pair) under the bitvector engine.
         let mut seed_score = 0i32;
         for k in 0..seed_span {
-            seed_score += cfg.scoring.subst.score(tc[t0 + k], qc[q0 + k]);
+            seed_score += match cfg.extend_backend {
+                ExtendBackend::YDrop => cfg.scoring.subst.score(tc[t0 + k], qc[q0 + k]),
+                ExtendBackend::Bitvector => {
+                    if tc[t0 + k] == qc[q0 + k] {
+                        2
+                    } else {
+                        -1
+                    }
+                }
+            };
         }
 
         let mut ops: Vec<EditOp> = Vec::new();
@@ -874,6 +947,15 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
             stats.executor_problems as u64,
         );
         sink.counter_add(names::ALIGNMENTS_TOTAL, alignments.len() as u64);
+        // Bitvector work-reduction counters, emitted on every observed
+        // run — zeros under y-drop — so the exported series set never
+        // depends on the configured backend.
+        sink.counter_add(names::BITVEC_WINDOWS_TOTAL, stats.bitvec.windows);
+        sink.counter_add(names::BITVEC_SENE_SKIPS_TOTAL, stats.bitvec.sene_skips);
+        sink.counter_add(
+            names::BITVEC_DENT_DISCARDS_TOTAL,
+            stats.bitvec.dent_discards,
+        );
         bin_counts.record_into(sink);
         stats.inspector.record_into(sink, "inspector");
         stats.executor.record_into(sink, "executor");
@@ -1033,6 +1115,24 @@ fn side_result(ext: WarpExtension) -> SideResult {
         eager_ops: ext.ops.or(ext.eager_ops),
         task,
         counters: ext.counters,
+        bitvec: BitvecStats::default(),
+    }
+}
+
+/// The bitvector engine always emits a complete edit script, so its
+/// sides are resolved in the inspector and never reach the executor.
+fn side_result_bitvec(ext: BitvecExtension) -> SideResult {
+    let task = price_task(&ext.counters);
+    SideResult {
+        score: ext.best_score,
+        best_i: ext.best_i,
+        best_j: ext.best_j,
+        explored_rows: ext.explored_rows,
+        explored_cols: ext.explored_cols,
+        eager_ops: Some(ext.ops),
+        task,
+        counters: ext.counters,
+        bitvec: ext.stats,
     }
 }
 
@@ -1361,6 +1461,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bitvector_backend_runs_the_pipeline_end_to_end() {
+        let (t, q, anchors, span) = demo(110);
+        let mut cfg = config();
+        cfg.extend_backend = ExtendBackend::Bitvector;
+        // Thresholds are regime-specific: in the unit regime a score of
+        // 100 is ~50 well-aligned bases.
+        cfg.scoring.gapped_threshold = 100;
+        let report = run_fastz(&t, &q, &anchors, span, &cfg);
+        assert!(!report.alignments.is_empty());
+        // The bitvector engine tracebacks in place: no executor residue.
+        assert_eq!(report.stats.executor_problems, 0);
+        assert_eq!(report.stats.eager_resolved, report.stats.problems);
+        assert!(report.stats.bitvec.windows > 0);
+        let tc = t.codes();
+        let qc = q.codes();
+        for a in &report.alignments {
+            assert!(a.is_consistent(&t, &q), "{a}");
+            // Unit-score identity over the spliced script: +2 per match,
+            // −1 per mismatch, −2 per gap base ((i+j) − 3·ed summed).
+            let (mut ti, mut qi, mut unit) = (a.target_start, a.query_start, 0i32);
+            for op in &a.ops {
+                match *op {
+                    EditOp::Diag(n) => {
+                        for k in 0..n as usize {
+                            unit += if tc[ti + k] == qc[qi + k] { 2 } else { -1 };
+                        }
+                        ti += n as usize;
+                        qi += n as usize;
+                    }
+                    EditOp::GapQ(n) => {
+                        ti += n as usize;
+                        unit -= 2 * n as i32;
+                    }
+                    EditOp::GapT(n) => {
+                        qi += n as usize;
+                        unit -= 2 * n as i32;
+                    }
+                }
+            }
+            assert_eq!(unit, a.score, "{a}");
+        }
+        // Same determinism contract as y-drop: worker count and dispatch
+        // mode never reach the results.
+        for (threads, dispatch) in [(4, HostDispatch::Stealing), (3, HostDispatch::Static)] {
+            let run = run_fastz(
+                &t,
+                &q,
+                &anchors,
+                span,
+                &FastZConfig {
+                    sim_threads: threads,
+                    host_dispatch: dispatch,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(run.alignments, report.alignments);
+            assert_eq!(run.bin_counts, report.bin_counts);
+            assert_eq!(
+                run.modeled_time_s.to_bits(),
+                report.modeled_time_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bitvector_backend_is_sanitizer_clean() {
+        let (t, q, anchors, span) = demo(111);
+        let mut cfg = config();
+        cfg.extend_backend = ExtendBackend::Bitvector;
+        cfg.scoring.gapped_threshold = 100;
+        cfg.sanitize = true;
+        let report = run_fastz(&t, &q, &anchors, span, &cfg);
+        let rep = report.sanitize.as_ref().expect("sanitize report");
+        assert!(rep.is_clean(), "findings: {:?}", rep.findings);
+        assert!(rep.shared_writes > 0, "bitvector rows hit the scratchpad");
+        assert!(rep.barriers > 0, "DP/traceback stages are barrier-fenced");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! scratch lives in the claiming worker's [`crate::pool::Arena`]; a
 //! retry reuses the same worker's buffers.
 
+use crate::bitvec::BitvecStats;
 use crate::pipeline::SideResult;
 use fastz_align::EditOp;
 use fastz_genome::{Scoring, Sequence};
@@ -514,7 +515,7 @@ pub fn decode_ops(s: &str) -> Result<Option<Vec<EditOp>>, String> {
 fn encode_side(tag: char, idx: usize, r: &SideResult) -> String {
     let c = &r.counters;
     format!(
-        "{tag} {idx} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+        "{tag} {idx} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
         r.score,
         r.best_i,
         r.best_j,
@@ -531,14 +532,17 @@ fn encode_side(tag: char, idx: usize, r: &SideResult) -> String {
         c.shared_bytes,
         c.shuffles,
         c.scalar_ops,
+        r.bitvec.windows,
+        r.bitvec.sene_skips,
+        r.bitvec.dent_discards,
         encode_ops(r.eager_ops.as_deref()),
     )
 }
 
 fn decode_side(rest: &str) -> Result<(usize, SideResult), String> {
     let f: Vec<&str> = rest.split_ascii_whitespace().collect();
-    if f.len() != 18 {
-        return Err(format!("checkpoint record has {} fields, want 18", f.len()));
+    if f.len() != 21 {
+        return Err(format!("checkpoint record has {} fields, want 21", f.len()));
     }
     let num = |i: usize| -> Result<u64, String> {
         f[i].parse().map_err(|_| format!("bad field {}", f[i]))
@@ -565,7 +569,12 @@ fn decode_side(rest: &str) -> Result<(usize, SideResult), String> {
             shuffles: num(15)?,
             scalar_ops: num(16)?,
         },
-        eager_ops: decode_ops(f[17])?,
+        bitvec: BitvecStats {
+            windows: num(17)?,
+            sene_skips: num(18)?,
+            dent_discards: num(19)?,
+        },
+        eager_ops: decode_ops(f[20])?,
     };
     Ok((idx, r))
 }
@@ -596,6 +605,11 @@ mod tests {
                 shared_bytes: 7,
                 shuffles: 8,
                 scalar_ops: 9,
+            },
+            bitvec: BitvecStats {
+                windows: 2,
+                sene_skips: 1,
+                dent_discards: 5,
             },
         }
     }

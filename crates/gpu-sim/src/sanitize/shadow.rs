@@ -26,6 +26,10 @@ pub mod stage {
     pub const WAVEFRONT: &str = "wavefront";
     /// In-shared-memory eager traceback walk (paper §3.1.2).
     pub const EAGER_TRACEBACK: &str = "eager_traceback";
+    /// GenASM-style bitvector edit-distance column sweep.
+    pub const BITVECTOR: &str = "bitvector";
+    /// Bitvector traceback walk over the stored dead-mask rows.
+    pub const BITVECTOR_TRACEBACK: &str = "bitvector_traceback";
 }
 
 /// Static seam mirroring the `MetricsSink`/`NoObs` pattern: generic

@@ -51,6 +51,14 @@ pub const ALIGNMENTS_TOTAL: &str = "fastz_alignments_total";
 /// Per-bin seed counts; label `bin` ∈ eager|512|2048|8192|32768|overflow.
 pub const BIN_SEEDS_TOTAL: &str = "fastz_bin_seeds_total";
 
+/// Bitvector-backend windows processed (zero under y-drop).
+pub const BITVEC_WINDOWS_TOTAL: &str = "fastz_bitvec_windows_total";
+/// Scrooge SENE events: columns skipped after an all-dead column plus
+/// windows abandoned without a live end-bit candidate.
+pub const BITVEC_SENE_SKIPS_TOTAL: &str = "fastz_bitvec_sene_skips_total";
+/// Scrooge DENT events: all-dead traceback rows never stored.
+pub const BITVEC_DENT_DISCARDS_TOTAL: &str = "fastz_bitvec_dent_discards_total";
+
 /// Per-phase work counters (label `phase` ∈ inspector|executor).
 pub const CELLS_TOTAL: &str = "fastz_cells_total";
 /// Wavefront steps (see [`CELLS_TOTAL`] for labeling).
@@ -202,6 +210,11 @@ pub const SERVE_COMPLETED_TOTAL: &str = "fastz_serve_completed_total";
 pub const SERVE_DEGRADED_TOTAL: &str = "fastz_serve_degraded_total";
 /// Cross-request merged executor launches formed by the bin packer.
 pub const SERVE_MERGED_LAUNCHES_TOTAL: &str = "fastz_serve_merged_launches_total";
+/// Anchors probed by the bitvector cheap-reject pre-filter rung.
+pub const SERVE_PREFILTER_PROBED_TOTAL: &str = "fastz_serve_prefilter_probed_total";
+/// Anchors the pre-filter rung rejected (provably below
+/// `gapped_threshold`; the served alignment set is unchanged).
+pub const SERVE_PREFILTER_REJECTED_TOTAL: &str = "fastz_serve_prefilter_rejected_total";
 
 /// Fill ratio of cross-request merged bin launches (occupied warp slots
 /// over batch capacity), one observation per merged launch.

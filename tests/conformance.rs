@@ -25,6 +25,10 @@ fn engines_agree_on_a_small_fuzz_corpus() {
         // The run_case_on path plus the per-case backend-identity drill
         // exercise the SIMD backend regardless of this setting.
         backend: fastz_core::WavefrontBackend::default(),
+        // The cross-algorithm drill runs in tier-1 via the
+        // fastz-conformance crate's own suite tests and at 500 pairs in
+        // CI's bitvector job.
+        bitvector: false,
     });
     assert!(
         suite.is_clean(),
@@ -44,6 +48,7 @@ fn conformance_detects_a_corrupted_engine() {
         fault_seed: None,
         sanitize: false,
         backend: fastz_core::WavefrontBackend::default(),
+        bitvector: false,
     });
     assert!(
         !suite.is_clean(),
