@@ -19,6 +19,15 @@
 //!                                    clock only, never the results or the
 //!                                    modeled GPU time
 //!   --seed exact19|12of19            seed shape (default 12of19)
+//!   --index-dir DIR                  persist the sharded seed index under
+//!                                    DIR: the first run builds and saves it,
+//!                                    later runs validate (checksum, version,
+//!                                    genome identity) and load instead of
+//!                                    rebuilding; anchors are bit-identical
+//!                                    either way
+//!   --index-shards N                 target-interval shards for the seed
+//!                                    index (default 4; implies the sharded
+//!                                    index path even without --index-dir)
 //!   --max-anchors N                  seed budget (default unlimited)
 //!   --scoring lastz|bench            scoring preset (default lastz)
 //!   --scores FILE                    LASTZ score file (overrides matrix/gaps)
@@ -73,7 +82,9 @@ use fastz_core::{
 use fastz_genome::{find_pair, generate_pair, read_fasta_file, Scale, Scoring, Sequence};
 use fastz_gpu_sim::{DeviceSpec, FaultPlan};
 use fastz_obs::{export, NoObs, Recorder};
-use fastz_seed::{Anchor, SeedShape, Workload, WorkloadParams};
+use fastz_seed::{
+    Anchor, IndexOrigin, PersistError, SeedShape, ShardedSeedIndex, Workload, WorkloadParams,
+};
 use fastz_serve::{AlignRequest, AlignService, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -87,6 +98,8 @@ struct Options {
     threads: usize,
     sim_threads: usize,
     seed: String,
+    index_dir: Option<String>,
+    index_shards: usize,
     max_anchors: usize,
     scoring: String,
     demo: Option<String>,
@@ -110,7 +123,7 @@ impl Options {
         "usage: fastz <target.fa> <query.fa> [--engine fastz|lastz|multicore] \
          [--extend ydrop|bitvector] \
          [--device pascal|volta|ampere] [--threads N] [--sim-threads N] \
-         [--seed exact19|12of19] \
+         [--seed exact19|12of19] [--index-dir DIR] [--index-shards N] \
          [--max-anchors N] [--scoring lastz|bench] [--demo PAIR] \
          [--serve N] [--prefilter] [--fault-plan SEED] [--checkpoint FILE] \
          [--metrics-out FILE] \
@@ -127,6 +140,8 @@ impl Options {
             threads: 16,
             sim_threads: 0,
             seed: "12of19".into(),
+            index_dir: None,
+            index_shards: 0,
             max_anchors: 0,
             scoring: "lastz".into(),
             demo: None,
@@ -166,6 +181,16 @@ impl Options {
                         .map_err(|_| "--sim-threads must be a number".to_string())?
                 }
                 "--seed" => opts.seed = grab("--seed")?,
+                "--index-dir" => opts.index_dir = Some(grab("--index-dir")?),
+                "--index-shards" => {
+                    let n: usize = grab("--index-shards")?
+                        .parse()
+                        .map_err(|_| "--index-shards must be a shard count".to_string())?;
+                    if n == 0 {
+                        return Err("--index-shards must be at least 1".to_string());
+                    }
+                    opts.index_shards = n;
+                }
                 "--max-anchors" => {
                     opts.max_anchors = grab("--max-anchors")?
                         .parse()
@@ -321,15 +346,51 @@ fn main() -> ExitCode {
         query.len()
     );
 
-    let workload = Workload::build(
-        &target,
-        &query,
-        &WorkloadParams {
-            shape,
-            max_anchors: opts.max_anchors,
-            ..WorkloadParams::default()
-        },
-    );
+    let params = WorkloadParams {
+        shape: shape.clone(),
+        max_anchors: opts.max_anchors,
+        ..WorkloadParams::default()
+    };
+    // Sharded-index path: build (or load) the persistent index once and
+    // seed through it. The fingerprint folds into checkpoint identity so
+    // a resume can never mix anchors from different index versions.
+    let mut index_fingerprint = 0u64;
+    let workload = if opts.index_dir.is_some() || opts.index_shards > 0 {
+        let shards = if opts.index_shards > 0 {
+            opts.index_shards
+        } else {
+            4
+        };
+        let loaded = match &opts.index_dir {
+            Some(dir) => {
+                ShardedSeedIndex::load_or_build(&PathBuf::from(dir), &target, shape, shards)
+            }
+            None => ShardedSeedIndex::build(&target, shape, shards)
+                .map(|i| (i, IndexOrigin::Built))
+                .map_err(PersistError::Build),
+        };
+        let (index, origin) = match loaded {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("fastz: seed index: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "fastz: seed index {} ({} shards, {} entries, fingerprint {:016x})",
+            match origin {
+                IndexOrigin::LoadedFromDisk => "loaded from disk",
+                IndexOrigin::Built => "built",
+            },
+            index.n_shards(),
+            index.len(),
+            index.fingerprint(),
+        );
+        index_fingerprint = index.fingerprint();
+        Workload::build_with_index(&index, &query, &params)
+    } else {
+        Workload::build(&target, &query, &params)
+    };
     eprintln!(
         "fastz: {} raw anchors, {} after filtering, {} extended",
         workload.raw_anchors,
@@ -354,6 +415,7 @@ fn main() -> ExitCode {
         let cfg = FastZConfig {
             sim_threads: opts.sim_threads,
             extend_backend: extend,
+            index_fingerprint,
             ..FastZConfig::new(scoring, device)
         };
         let alignments = match serve_front_end(&target, &query, &workload.anchors, span, cfg, &opts)
@@ -415,6 +477,7 @@ fn main() -> ExitCode {
                 sim_threads: opts.sim_threads,
                 sanitize: opts.sanitize || opts.sanitize_out.is_some(),
                 extend_backend: extend,
+                index_fingerprint,
                 ..FastZConfig::new(scoring, device)
             };
             let rcfg = ResilienceConfig {
@@ -800,6 +863,21 @@ mod tests {
         assert!(Options::parse(&sv(&["--serve"])).is_err());
         assert!(Options::parse(&sv(&["--serve", "many"])).is_err());
         assert_eq!(Options::parse(&[]).unwrap().serve, 0);
+    }
+
+    #[test]
+    fn index_flags() {
+        let o =
+            Options::parse(&sv(&["--index-dir", ".fastz-index", "--index-shards", "8"])).unwrap();
+        assert_eq!(o.index_dir.as_deref(), Some(".fastz-index"));
+        assert_eq!(o.index_shards, 8);
+        let none = Options::parse(&[]).unwrap();
+        assert_eq!(none.index_dir, None);
+        assert_eq!(none.index_shards, 0);
+        assert!(Options::parse(&sv(&["--index-dir"])).is_err());
+        assert!(Options::parse(&sv(&["--index-shards"])).is_err());
+        assert!(Options::parse(&sv(&["--index-shards", "zero"])).is_err());
+        assert!(Options::parse(&sv(&["--index-shards", "0"])).is_err());
     }
 
     #[test]

@@ -22,13 +22,14 @@ struct Args {
     metrics_out: Option<String>,
     replay: Option<(Category, u64)>,
     serve: bool,
+    index: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: conformance [--pairs N] [--seed S] [--out FILE] [--max-extent E]\n\
          \x20                  [--corrupt DELTA] [--fault-seed S] [--metrics-out FILE]\n\
-         \x20                  [--sanitize] [--serve]\n\
+         \x20                  [--sanitize] [--serve] [--index persist]\n\
          \x20                  [--engine interpreter|simd|bitvector]\n\
          \x20                  [--replay CATEGORY:SEED]\n\
          \n\
@@ -52,6 +53,12 @@ fn usage() -> ! {
          solo or co-batched, the deduped union of a split workload must\n\
          equal the direct pipeline run, and seeded service chaos must\n\
          change nothing observable while accounting for every fault.\n\
+         --index persist drills the persistent sharded seed index on\n\
+         every corpus family: a save → validate → load round trip must\n\
+         reproduce the in-memory index's anchors exactly, and the\n\
+         pipeline over the persisted workload must match alignments,\n\
+         bin counts, and modeled-GPU-time bits across sim-thread and\n\
+         dispatch settings.\n\
          --engine picks the warp engine's wavefront backend\n\
          (interpreter or simd) for the whole suite; every invariant must\n\
          hold identically on either. --engine bitvector instead turns on\n\
@@ -72,6 +79,7 @@ fn parse_args() -> Args {
         metrics_out: None,
         replay: None,
         serve: false,
+        index: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +107,13 @@ fn parse_args() -> Args {
             }
             "--sanitize" => args.config.sanitize = true,
             "--serve" => args.serve = true,
+            "--index" => match value("--index").as_str() {
+                "persist" => args.index = true,
+                other => {
+                    eprintln!("unknown index drill {other} (want persist)");
+                    usage();
+                }
+            },
             "--engine" => match value("--engine").as_str() {
                 "interpreter" => args.config.backend = WavefrontBackend::Interpreter,
                 "simd" => args.config.backend = WavefrontBackend::Simd,
@@ -172,6 +187,20 @@ fn main() -> ExitCode {
         );
         eprintln!(
             "serve drill: {} checks, {} divergences",
+            checks,
+            divergences.len()
+        );
+        suite.checks += checks;
+        suite.divergences.extend(divergences);
+    }
+
+    if args.index {
+        let (checks, divergences) = fastz_conformance::check_index_persist(
+            args.config.seed,
+            &fastz_conformance::suite_scoring(),
+        );
+        eprintln!(
+            "index drill: {} checks, {} divergences",
             checks,
             divergences.len()
         );

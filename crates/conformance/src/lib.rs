@@ -15,6 +15,7 @@
 pub mod corpus;
 pub mod crossalg;
 pub mod engines;
+pub mod index;
 pub mod invariants;
 pub mod oracle;
 pub mod pipeline;
@@ -25,6 +26,7 @@ pub mod serve;
 pub use corpus::{bin_boundary_cases, fuzz_corpus, make_case, Case, Category};
 pub use crossalg::check_bitvec_case;
 pub use engines::{run_case, CaseRun};
+pub use index::check_index_persist;
 pub use invariants::{check_case, rescore_ops};
 pub use oracle::{edit_oracle, oracle_extend, EditOracleRun, OracleRun};
 pub use report::{CellDiff, Divergence, SuiteReport};

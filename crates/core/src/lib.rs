@@ -32,15 +32,18 @@ pub use bitvec::{
 };
 pub use gpu_baseline::{baseline_problem_time, baseline_total_time};
 pub use multi_gpu::{
-    partition_anchors, run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, straggler_index,
-    MultiGpuReport, Partition,
+    device_speed, partition_anchors, partition_anchors_sharded, rebalance_shards,
+    run_fastz_multi_gpu, run_fastz_multi_gpu_resilient, straggler_index, MultiGpuReport, Partition,
+    ShardSchedule, SHARD_MOVE_COST_S,
 };
 pub use pipeline::{
     run_fastz, run_fastz_in_pool, run_fastz_observed, run_fastz_resilient, FastZConfig,
     FastZReport, FastZStats,
 };
 pub use pool::{Arena, HostDispatch, HostPool, PoolStats};
-pub use resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
+pub use resilient::{
+    combine_fingerprint, workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport,
+};
 pub use warp_engine::{
     warp_extend, warp_extend_in, warp_extend_traced, warp_extend_traced_in, WarpConfig,
     WarpExtension, WavefrontBackend,

@@ -114,6 +114,170 @@ pub fn straggler_index(times: impl Iterator<Item = f64>) -> usize {
         .0
 }
 
+/// Modeled cost of migrating one resident index shard onto a device it
+/// is not already resident on (PCIe transfer + table install). The
+/// rebalancer charges it per placement, which is what makes locality
+/// matter: a shard stays put unless moving it buys more than this.
+pub const SHARD_MOVE_COST_S: f64 = 5.0e-4;
+
+/// A shard-to-device placement decided by [`rebalance_shards`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSchedule {
+    /// `assignments[s]` is the device shard `s` runs on.
+    pub assignments: Vec<usize>,
+    /// Modeled completion time per device under the placement (work
+    /// scaled by device speed, plus move costs).
+    pub device_load_s: Vec<f64>,
+    /// The straggler device's completion time (the fleet finishes when
+    /// its slowest member does).
+    pub makespan_s: f64,
+    /// The straggler device under the placement.
+    pub straggler: usize,
+    /// Shards that stayed on the device they were already resident on.
+    pub reused: usize,
+    /// Shards placed on a device they were not resident on (cold loads
+    /// and migrations — each paid [`SHARD_MOVE_COST_S`]).
+    pub moved: usize,
+}
+
+/// A device's relative throughput for seeding work, derived from its
+/// spec: lanes × clock × issue efficiency, normalized so the reference
+/// Ampere part is ~1. Degenerate custom specs (zero clock) yield 0.0,
+/// which the rebalancer treats as "effectively unusable" rather than
+/// panicking — the same philosophy as [`straggler_index`].
+pub fn device_speed(spec: &DeviceSpec) -> f64 {
+    let raw =
+        spec.sm_count as f64 * spec.lanes_per_sm as f64 * spec.clock_ghz * spec.issue_efficiency;
+    // RTX 3080 Ampere: 68 SMs × 128 lanes × 1.71 GHz × 0.294 issue eff.
+    let reference = 68.0 * 128.0 * 1.71 * 0.294;
+    raw / reference
+}
+
+/// Locality-aware shard rebalancer: the `total_cmp` straggler ranking
+/// grown into a placement policy.
+///
+/// Assigns each shard (with modeled load `shard_loads[s]` seconds on a
+/// unit-speed device) to one of `device_speeds.len()` devices using
+/// longest-processing-time greedy: shards are placed heaviest-first,
+/// each onto the device whose completion time after taking it is
+/// smallest. A shard already resident on a device (per `residency`)
+/// runs there free of the [`SHARD_MOVE_COST_S`] migration charge, so
+/// placements prefer residency unless the load imbalance it causes
+/// outweighs the move — that is the locality/balance trade SaLoBa makes.
+///
+/// All comparisons use `f64::total_cmp`, so NaN/infinite loads (a
+/// degenerate device model) order deterministically instead of
+/// panicking; ties prefer the lower device index. An empty device list
+/// clamps to one unit-speed device, mirroring `partition_anchors`.
+pub fn rebalance_shards(
+    shard_loads: &[f64],
+    device_speeds: &[f64],
+    residency: &[Option<usize>],
+) -> ShardSchedule {
+    let fallback = [1.0f64];
+    let speeds: &[f64] = if device_speeds.is_empty() {
+        &fallback
+    } else {
+        device_speeds
+    };
+    let n_dev = speeds.len();
+    // Heaviest shard first; ties keep the lower shard id so the
+    // schedule is deterministic under equal loads.
+    let mut order: Vec<usize> = (0..shard_loads.len()).collect();
+    order.sort_by(|&a, &b| shard_loads[b].total_cmp(&shard_loads[a]).then(a.cmp(&b)));
+
+    let mut assignments = vec![0usize; shard_loads.len()];
+    let mut device_load_s = vec![0.0f64; n_dev];
+    let mut reused = 0usize;
+    let mut moved = 0usize;
+    for &s in &order {
+        let home = residency.get(s).copied().flatten().filter(|&d| d < n_dev);
+        let mut best = 0usize;
+        let mut best_t = f64::INFINITY;
+        for (d, &speed) in speeds.iter().enumerate() {
+            let scaled = if speed > 0.0 {
+                shard_loads[s] / speed
+            } else {
+                f64::INFINITY
+            };
+            let move_cost = if home == Some(d) {
+                0.0
+            } else {
+                SHARD_MOVE_COST_S
+            };
+            let t = device_load_s[d] + scaled + move_cost;
+            if d == 0 || t.total_cmp(&best_t).is_lt() {
+                best = d;
+                best_t = t;
+            }
+        }
+        assignments[s] = best;
+        device_load_s[best] = best_t;
+        if home == Some(best) {
+            reused += 1;
+        } else {
+            moved += 1;
+        }
+    }
+
+    let straggler = if n_dev == 0 {
+        0
+    } else {
+        straggler_index(device_load_s.iter().copied())
+    };
+    let makespan_s = device_load_s.get(straggler).copied().unwrap_or(0.0);
+    ShardSchedule {
+        assignments,
+        device_load_s,
+        makespan_s,
+        straggler,
+        reused,
+        moved,
+    }
+}
+
+/// Splits `anchors` across devices by target-interval shard: each
+/// anchor belongs to the shard whose window interval `[lo, hi)`
+/// contains its `target_pos`, and lands on that shard's assigned
+/// device. Order within a device follows the input order, so the union
+/// over devices is exactly the input anchor set — shard-local placement
+/// never changes what gets aligned, only where.
+///
+/// `bounds` must be ordered and disjoint (the
+/// `ShardedSeedIndex::shard_bounds` layout); anchors past the last
+/// bound (possible only with mismatched inputs) go to the last shard's
+/// device rather than being dropped.
+pub fn partition_anchors_sharded(
+    anchors: &[Anchor],
+    bounds: &[(u64, u64)],
+    schedule: &ShardSchedule,
+    n_devices: usize,
+) -> Vec<Vec<Anchor>> {
+    let n_devices = n_devices.max(1);
+    let mut parts = vec![Vec::new(); n_devices];
+    if bounds.is_empty() {
+        parts[0].extend(anchors.iter().copied());
+        return parts;
+    }
+    for &a in anchors {
+        let pos = a.target_pos as u64;
+        // Binary search over the ordered interval starts.
+        let shard = match bounds.binary_search_by(|&(lo, _)| lo.cmp(&pos)) {
+            Ok(s) => s,
+            Err(0) => 0,
+            Err(ins) => ins - 1,
+        };
+        let dev = schedule
+            .assignments
+            .get(shard)
+            .copied()
+            .unwrap_or(0)
+            .min(n_devices - 1);
+        parts[dev].push(a);
+    }
+    parts
+}
+
 /// Splits `anchors` across `n` partitions under `policy`.
 ///
 /// `n == 0` is a caller configuration bug, not a reason to bring a long
@@ -516,6 +680,118 @@ mod tests {
             "a zero-bandwidth device cannot finish in finite modeled time"
         );
         assert_eq!(multi.alignments, single.alignments);
+    }
+
+    #[test]
+    fn rebalancer_balances_load_and_prefers_residency() {
+        // Four equal devices, twelve equal shards, no residency: greedy
+        // LPT spreads them three per device.
+        let loads = vec![1.0; 12];
+        let speeds = vec![1.0; 4];
+        let cold = rebalance_shards(&loads, &speeds, &[None; 12]);
+        assert_eq!(cold.reused, 0);
+        assert_eq!(cold.moved, 12);
+        for d in 0..4 {
+            assert_eq!(
+                cold.assignments.iter().filter(|&&a| a == d).count(),
+                3,
+                "device {d} shard count"
+            );
+        }
+        // Warm pass with the cold placement as residency: every shard
+        // stays home and the makespan drops by the waived move costs.
+        let residency: Vec<Option<usize>> = cold.assignments.iter().map(|&d| Some(d)).collect();
+        let warm = rebalance_shards(&loads, &speeds, &residency);
+        assert_eq!(warm.reused, 12);
+        assert_eq!(warm.moved, 0);
+        assert_eq!(warm.assignments, cold.assignments);
+        assert!(warm.makespan_s < cold.makespan_s);
+        // A heavily skewed residency is overridden: balance beats
+        // locality when one device holds everything.
+        let all_on_0: Vec<Option<usize>> = vec![Some(0); 12];
+        let spread = rebalance_shards(&loads, &speeds, &all_on_0);
+        assert!(
+            spread.moved >= 8,
+            "only {} shards moved off the hot device",
+            spread.moved
+        );
+        assert!(spread.makespan_s < 12.0 * (1.0 + SHARD_MOVE_COST_S) / 2.0);
+    }
+
+    #[test]
+    fn rebalancer_scales_by_device_speed_and_survives_degenerate_specs() {
+        // A device twice as fast should take roughly twice the work.
+        let loads = vec![1.0; 9];
+        let sched = rebalance_shards(&loads, &[2.0, 1.0], &[None; 9]);
+        let fast = sched.assignments.iter().filter(|&&d| d == 0).count();
+        assert!(fast >= 5, "fast device took only {fast}/9 shards");
+        assert_eq!(
+            sched.straggler,
+            straggler_index(sched.device_load_s.iter().copied())
+        );
+        // Zero-speed and NaN inputs order deterministically, never panic.
+        let weird = rebalance_shards(&[f64::NAN, 1.0, f64::INFINITY], &[0.0, 1.0], &[None; 3]);
+        assert_eq!(weird.assignments.len(), 3);
+        assert_eq!(
+            weird.assignments[1], 1,
+            "finite shard lands on the usable device"
+        );
+        // With finite loads, a zero-speed device is simply avoided.
+        let avoid = rebalance_shards(&[1.0; 3], &[0.0, 1.0], &[None; 3]);
+        assert!(
+            avoid.assignments.iter().all(|&d| d == 1),
+            "unusable device avoided"
+        );
+        // Empty fleet clamps to one device.
+        let clamped = rebalance_shards(&[1.0, 2.0], &[], &[None, None]);
+        assert!(clamped.assignments.iter().all(|&d| d == 0));
+        // Speed proxy sanity: Ampere ≈ 1, Pascal slower, degenerate 0.
+        assert!((device_speed(&DeviceSpec::rtx3080_ampere()) - 1.0).abs() < 0.2);
+        assert!(device_speed(&DeviceSpec::titan_x_pascal()) < 1.0);
+        let dead = DeviceSpec {
+            clock_ghz: 0.0,
+            ..DeviceSpec::rtx3080_ampere()
+        };
+        assert_eq!(device_speed(&dead), 0.0);
+    }
+
+    #[test]
+    fn shard_local_partitioning_is_total_and_preserves_alignments() {
+        let (t, q, anchors, span) = demo();
+        // Shard the window space into 6 intervals and place them on 3
+        // devices by modeled (entry-count) load.
+        let n_windows = (t.len() - span + 1) as u64;
+        let per = n_windows.div_ceil(6);
+        let bounds: Vec<(u64, u64)> = (0..6)
+            .map(|s| ((s * per).min(n_windows), ((s + 1) * per).min(n_windows)))
+            .collect();
+        let loads: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                anchors
+                    .iter()
+                    .filter(|a| (a.target_pos as u64) >= lo && (a.target_pos as u64) < hi)
+                    .count() as f64
+            })
+            .collect();
+        let sched = rebalance_shards(&loads, &[1.0; 3], &[None; 6]);
+        let parts = partition_anchors_sharded(&anchors, &bounds, &sched, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, anchors.len(), "no anchor dropped or duplicated");
+        let mut all: Vec<_> = parts.concat();
+        all.sort_by_key(|a| (a.query_pos, a.target_pos));
+        let mut want = anchors.clone();
+        want.sort_by_key(|a| (a.query_pos, a.target_pos));
+        assert_eq!(all, want);
+        // Running each shard-local partition through the pipeline and
+        // merging reproduces the single-run alignment set exactly.
+        let single = run_fastz(&t, &q, &anchors, span, &cfg());
+        let mut merged = Vec::new();
+        for part in &parts {
+            merged.extend(run_fastz(&t, &q, part, span, &cfg()).alignments);
+        }
+        assert_eq!(dedupe_alignments(merged), single.alignments);
     }
 
     #[test]

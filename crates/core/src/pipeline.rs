@@ -13,7 +13,9 @@ use crate::binning::{classify, BinClass, BinCounts, BIN_BOUNDS};
 use crate::bitvec::{bitvec_extend_in, BitvecConfig, BitvecExtension, BitvecStats, ExtendBackend};
 use crate::cost::price_task;
 use crate::pool::{HostDispatch, HostPool};
-use crate::resilient::{workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport};
+use crate::resilient::{
+    combine_fingerprint, workload_fingerprint, Checkpoint, ResilienceConfig, ResilienceReport,
+};
 use crate::warp_engine::{warp_extend_in, WarpConfig, WarpExtension, WavefrontBackend};
 use fastz_align::{push_op, Alignment, EditOp};
 use fastz_genome::{Scoring, Sequence};
@@ -96,6 +98,12 @@ pub struct FastZConfig {
     pub extend_backend: ExtendBackend,
     /// Window geometry for the bitvector backend (ignored under y-drop).
     pub bitvec: BitvecConfig,
+    /// Identity fingerprint of the persistent seed index the anchors
+    /// came from (`ShardedSeedIndex::fingerprint`), or 0 when the
+    /// workload was seeded in memory. Nonzero values fold into the
+    /// checkpoint fingerprint so a resume can never silently cross
+    /// index versions; 0 leaves historical fingerprints intact.
+    pub index_fingerprint: u64,
 }
 
 impl FastZConfig {
@@ -114,6 +122,7 @@ impl FastZConfig {
             sanitize: false,
             extend_backend: ExtendBackend::default(),
             bitvec: BitvecConfig::default(),
+            index_fingerprint: 0,
         }
     }
 }
@@ -492,13 +501,20 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
         ExtendBackend::YDrop => 0u64,
         ExtendBackend::Bitvector => 1u64,
     };
-    let fingerprint = workload_fingerprint(
-        target,
-        query,
-        anchors,
-        seed_span,
-        &cfg.scoring,
-        flags_bits(&flags) | (strip_width as u64) << 8 | backend_bit << 16,
+    // The seed-index identity folds in last: anchors produced by a
+    // persisted index version A must not resume a checkpoint written
+    // under version B (combine with 0 is the identity, so in-memory
+    // workloads keep their historical fingerprints).
+    let fingerprint = combine_fingerprint(
+        workload_fingerprint(
+            target,
+            query,
+            anchors,
+            seed_span,
+            &cfg.scoring,
+            flags_bits(&flags) | (strip_width as u64) << 8 | backend_bit << 16,
+        ),
+        cfg.index_fingerprint,
     );
     let mut ckpt = Checkpoint::new(fingerprint);
     let mut res = ResilienceReport::default();

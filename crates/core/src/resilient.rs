@@ -278,6 +278,18 @@ pub fn workload_fingerprint(
     h
 }
 
+/// Folds an extra identity word (e.g. the persistent seed index
+/// fingerprint) into a workload fingerprint. Folding zero is the
+/// identity, so runs without the extra artifact keep their historical
+/// fingerprints — old checkpoints stay resumable.
+pub fn combine_fingerprint(fp: u64, extra: u64) -> u64 {
+    if extra == 0 {
+        fp
+    } else {
+        fnv(fp, &extra.to_le_bytes())
+    }
+}
+
 /// A pipeline checkpoint: per-problem inspector results and per-bin
 /// executor results, persisted after the inspector phase and after each
 /// completed executor bin.

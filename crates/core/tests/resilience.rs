@@ -213,6 +213,66 @@ fn checkpoint_resume_survives_a_killed_run() {
 }
 
 #[test]
+fn checkpoint_cannot_resume_across_index_versions() {
+    // A checkpoint written while seeding from persistent index version A
+    // must be rejected (not silently restored) when the run resumes with
+    // anchors from index version B — and an in-memory run (fingerprint
+    // 0) keeps its historical checkpoint identity.
+    let (t, q, anchors, span) = workload(215);
+    let cfg = config();
+    let clean = run_fastz(&t, &q, &anchors, span, &cfg);
+
+    let dir = std::env::temp_dir().join("fastz-index-fp-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let rcfg = ResilienceConfig {
+        checkpoint: Some(path.clone()),
+        ..ResilienceConfig::disabled()
+    };
+
+    let cfg_a = FastZConfig {
+        index_fingerprint: 0xA11CE,
+        ..cfg.clone()
+    };
+    let first = run_fastz_resilient(&t, &q, &anchors, span, &cfg_a, &rcfg);
+    assert_eq!(first.alignments, clean.alignments);
+    assert!(first.resilience.checkpoints_written >= 2);
+
+    // Same workload, same index version: restores.
+    let same = run_fastz_resilient(&t, &q, &anchors, span, &cfg_a, &rcfg);
+    assert!(same.resilience.resumed);
+
+    // Same workload, different index version: rejected with a recorded
+    // reason, recomputed from scratch, identical results.
+    let cfg_b = FastZConfig {
+        index_fingerprint: 0xB0B,
+        ..cfg.clone()
+    };
+    let crossed = run_fastz_resilient(&t, &q, &anchors, span, &cfg_b, &rcfg);
+    assert!(!crossed.resilience.resumed);
+    assert_eq!(crossed.resilience.restored_problems, 0);
+    assert!(
+        crossed
+            .resilience
+            .checkpoints_rejected
+            .iter()
+            .any(|r| r.contains("does not match")),
+        "rejection reason recorded: {:?}",
+        crossed.resilience.checkpoints_rejected
+    );
+    assert_eq!(crossed.alignments, clean.alignments);
+
+    // In-memory seeding (fingerprint 0) has its own identity, distinct
+    // from both indexed runs.
+    let in_mem = run_fastz_resilient(&t, &q, &anchors, span, &cfg, &rcfg);
+    assert!(!in_mem.resilience.resumed);
+    assert_eq!(in_mem.alignments, clean.alignments);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn fault_free_resilient_run_is_bit_identical_to_plain_run() {
     let (t, q, anchors, span) = workload(214);
     let cfg = config();

@@ -9,8 +9,31 @@
 //! deterministic subsampling to the harness's seed budget.
 
 use crate::index::SeedIndex;
+use crate::shape::SeedShape;
 use fastz_genome::Sequence;
 use std::collections::HashMap;
+
+/// Anything that can answer "which target positions carry this seed word"
+/// for one seed shape — the in-memory [`SeedIndex`] and the persisted
+/// [`crate::persist::ShardedSeedIndex`] both implement it, so workload
+/// construction is source-agnostic (and provably identical across them).
+pub trait AnchorSource {
+    /// The seed shape the source was built with.
+    fn source_shape(&self) -> &SeedShape;
+    /// Appends every target position whose seed word equals `word` to
+    /// `out`. Order may be arbitrary; callers sort.
+    fn positions_into(&self, word: u64, out: &mut Vec<u32>);
+}
+
+impl AnchorSource for SeedIndex {
+    fn source_shape(&self) -> &SeedShape {
+        self.shape()
+    }
+
+    fn positions_into(&self, word: u64, out: &mut Vec<u32>) {
+        out.extend(self.lookup(word));
+    }
+}
 
 /// One seed match.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -41,15 +64,23 @@ impl Anchor {
 /// Anchors are produced in query-position order (and target-position order
 /// within one query position).
 pub fn find_anchors(index: &SeedIndex, query: &Sequence) -> Vec<Anchor> {
-    let shape = index.shape();
+    find_anchors_in(index, query)
+}
+
+/// [`find_anchors`] over any [`AnchorSource`] (in-memory or persisted
+/// sharded index): same enumeration order, same anchors.
+pub fn find_anchors_in<S: AnchorSource + ?Sized>(source: &S, query: &Sequence) -> Vec<Anchor> {
+    let shape = source.source_shape();
     let codes = query.codes();
     let mut anchors = Vec::new();
+    let mut hits: Vec<u32> = Vec::new();
     let n_windows = codes.len().saturating_sub(shape.span().saturating_sub(1));
     for q in 0..n_windows {
         if let Some(word) = shape.word_at(codes, q) {
-            let mut hits: Vec<u32> = index.lookup(word).collect();
+            hits.clear();
+            source.positions_into(word, &mut hits);
             hits.sort_unstable();
-            for t in hits {
+            for &t in &hits {
                 anchors.push(Anchor {
                     target_pos: t,
                     query_pos: q as u32,

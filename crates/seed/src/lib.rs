@@ -10,11 +10,19 @@
 pub mod anchor;
 pub mod index;
 pub mod mask;
+pub mod persist;
 pub mod shape;
 pub mod workload;
 
-pub use anchor::{band_filter, filter_anchors, find_anchors, sample_anchors, Anchor};
-pub use index::SeedIndex;
+pub use anchor::{
+    band_filter, filter_anchors, find_anchors, find_anchors_in, sample_anchors, Anchor,
+    AnchorSource,
+};
+pub use index::{
+    build_peak_bytes, check_target_len, legacy_build_peak_bytes, IndexBuildError, SeedIndex,
+    MAX_TARGET_LEN,
+};
 pub use mask::{find_anchors_masked, WordMask};
+pub use persist::{IndexOrigin, PersistError, ShardedSeedIndex, INDEX_FORMAT_VERSION};
 pub use shape::SeedShape;
 pub use workload::{Workload, WorkloadParams};

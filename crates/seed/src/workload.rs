@@ -5,7 +5,9 @@
 //! the FastZ pipeline, and the bench harnesses all build identical
 //! workloads.
 
-use crate::anchor::{band_filter, filter_anchors, find_anchors, sample_anchors, Anchor};
+use crate::anchor::{
+    band_filter, filter_anchors, find_anchors_in, sample_anchors, Anchor, AnchorSource,
+};
 use crate::index::SeedIndex;
 use crate::shape::SeedShape;
 use fastz_genome::Sequence;
@@ -58,19 +60,35 @@ impl Workload {
     /// Builds the workload for `(target, query)` under `params`.
     pub fn build(target: &Sequence, query: &Sequence, params: &WorkloadParams) -> Workload {
         let index = SeedIndex::build(target, params.shape.clone());
-        let raw = find_anchors(&index, query);
+        Workload::build_with_index(&index, query, params)
+    }
+
+    /// Builds the workload for `query` against a prebuilt seed index —
+    /// the service path, where one shared (possibly persisted, sharded)
+    /// index serves many requests without a per-run rebuild. The shape
+    /// comes from the index; `params.shape` is ignored.
+    pub fn build_with_index<S: AnchorSource + ?Sized>(
+        index: &S,
+        query: &Sequence,
+        params: &WorkloadParams,
+    ) -> Workload {
+        let raw = find_anchors_in(index, query);
         let filtered = filter_anchors(&raw, params.filter_window);
         let filtered = band_filter(&filtered, params.band, params.band_window);
-        let sampled = if params.max_anchors > 0 {
+        let filtered_anchors = filtered.len();
+        // `filtered` moves into place when no budget applies — a deep
+        // clone here doubled peak anchor memory for the common
+        // unlimited-budget path.
+        let anchors = if params.max_anchors > 0 {
             sample_anchors(&filtered, params.max_anchors)
         } else {
-            filtered.clone()
+            filtered
         };
         Workload {
             raw_anchors: raw.len(),
-            filtered_anchors: filtered.len(),
-            anchors: sampled,
-            shape: params.shape.clone(),
+            filtered_anchors,
+            anchors,
+            shape: index.source_shape().clone(),
         }
     }
 

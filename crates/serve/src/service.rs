@@ -536,5 +536,17 @@ impl<'g> AlignService<'g> {
                 fill,
             );
         }
+        // Index-cache series ride the same zero-emission discipline: the
+        // service emits each as zero every run so the exported set never
+        // depends on whether an IndexCache front end is in play; when one
+        // is, `IndexCache::record_metrics` overlays the real values
+        // (counters are additive, gauges recorded after so last-wins).
+        sink.counter_add(names::INDEX_CACHE_HITS_TOTAL, 0);
+        sink.counter_add(names::INDEX_CACHE_DISK_LOADS_TOTAL, 0);
+        sink.counter_add(names::INDEX_CACHE_BUILDS_TOTAL, 0);
+        sink.counter_add(names::INDEX_SHARDS_REUSED_TOTAL, 0);
+        sink.counter_add(names::INDEX_SHARDS_MOVED_TOTAL, 0);
+        sink.gauge_set(names::INDEX_RESIDENT_SHARDS, 0.0);
+        sink.gauge_set(names::INDEX_REBALANCE_MAKESPAN_SECONDS, 0.0);
     }
 }
