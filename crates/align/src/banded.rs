@@ -7,6 +7,7 @@
 //! (unbanded) y-drop search instead. We implement it both as a comparison
 //! baseline and to demonstrate that miss in tests.
 
+use crate::score;
 use crate::ydrop::{tb, walk_traceback, ExtensionStats, OneSidedExtension, Traceback, NEG_INF};
 use fastz_genome::Scoring;
 
@@ -38,7 +39,6 @@ pub fn banded_extend(
     {
         let hi0 = n.min(band) + 1;
         let mut tb_row = Vec::new();
-        let mut i_val = NEG_INF;
         for j in 0..hi0 {
             let s_val = if j == 0 {
                 if want_traceback {
@@ -46,7 +46,7 @@ pub fn banded_extend(
                 }
                 0
             } else {
-                i_val = if j == 1 { so_se } else { i_val + se };
+                let i_val = score::gap_chain(so_se, se, j as i32 - 1);
                 if want_traceback {
                     let mut byte = tb::S_FROM_I;
                     if j > 1 {
@@ -73,7 +73,7 @@ pub fn banded_extend(
         if lo >= hi {
             break;
         }
-        let threshold = best_score - scoring.ydrop;
+        let threshold = score::add_clamped(best_score, -scoring.ydrop);
         let mut s_cur = Vec::with_capacity(hi - lo);
         let mut d_cur = Vec::with_capacity(hi - lo);
         let mut tb_row = Vec::new();
@@ -91,6 +91,10 @@ pub fn banded_extend(
             let (s_up, d_up) = fetch_prev(j);
             let s_diag = if j >= 1 { fetch_prev(j - 1).0 } else { NEG_INF };
 
+            // fastz-lint: allow(clamped-score-arith, Gotoh recurrence adds
+            // stay raw by contract — operands are clamped stored values and
+            // clamping here could flip the `ext >= open` tie-break at the
+            // sentinel floor; see crate::score module docs)
             let (i_val, i_ext) = {
                 let open = s_left + so_se;
                 let ext = i_left + se;
@@ -129,7 +133,11 @@ pub fn banded_extend(
             let (s_store, i_store, d_store) = if dead {
                 (NEG_INF, NEG_INF, NEG_INF)
             } else {
-                (s_val, i_val, d_val)
+                // A live cell's I/D may still be sentinel-derived; clamp
+                // at the NEG_INF floor so dead gap chains cannot drift
+                // toward i32::MIN across rows (the PR 1 ydrop fix, which
+                // this banded baseline had missed).
+                (s_val, score::clamp(i_val), score::clamp(d_val))
             };
             if !dead {
                 any_live = true;

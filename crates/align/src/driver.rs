@@ -9,6 +9,7 @@
 
 use crate::alignment::Alignment;
 use crate::extend::{gapped_extend_with, ExtendConfig, ExtendScratch};
+use crate::score;
 use crate::ungapped::xdrop_extend;
 use crate::ydrop::ExtensionStats;
 use fastz_genome::{Scoring, Sequence};
@@ -271,7 +272,10 @@ pub fn sequential_banded(
         // Seed body.
         let mut seed_score = 0i32;
         for k in 0..seed_span {
-            seed_score += config.scoring.subst.score(tc[t0 + k], qc[q0 + k]);
+            seed_score = score::add_clamped(
+                seed_score,
+                config.scoring.subst.score(tc[t0 + k], qc[q0 + k]),
+            );
         }
         // Right half.
         let rt = &tc[t0 + seed_span..tc.len().min(t0 + seed_span + max_ext)];
@@ -293,7 +297,10 @@ pub fn sequential_banded(
         stats.extended += 1;
         stats.total_cells += left.stats.cells + right.stats.cells;
 
-        let score = left.best_score + seed_score + right.best_score;
+        let score = score::add_clamped(
+            score::add_clamped(left.best_score, seed_score),
+            right.best_score,
+        );
         if score >= config.scoring.gapped_threshold {
             let mut ops: Vec<EditOp> = Vec::new();
             if let Some(lops) = &left.ops {

@@ -7,6 +7,7 @@
 //! half may make the combined alignment high-scoring).
 
 use crate::alignment::{push_op, Alignment, EditOp};
+use crate::score;
 use crate::ydrop::{ydrop_extend_with, ExtensionStats, PruneMode, YDropScratch};
 use fastz_genome::{Scoring, Sequence};
 use fastz_seed::Anchor;
@@ -117,7 +118,7 @@ pub fn gapped_extend_with(
     // Seed body.
     let mut seed_score = 0i32;
     for k in 0..seed_span {
-        seed_score += scoring.subst.score(tc[t0 + k], qc[q0 + k]);
+        seed_score = score::add_clamped(seed_score, scoring.subst.score(tc[t0 + k], qc[q0 + k]));
     }
 
     // Right half: suffixes after the seed.
@@ -170,7 +171,10 @@ pub fn gapped_extend_with(
         target_end: t0 + seed_span + right.best_j,
         query_start: q0 - left.best_i,
         query_end: q0 + seed_span + right.best_i,
-        score: left.best_score + seed_score + right.best_score,
+        score: score::add_clamped(
+            score::add_clamped(left.best_score, seed_score),
+            right.best_score,
+        ),
         ops: ops.unwrap_or_default(),
     };
 

@@ -7,6 +7,7 @@
 //! reaches `hsp_threshold`. The paper's Figure 2 contrasts the alignments
 //! this filter admits against the gapped pipeline's.
 
+use crate::score;
 use fastz_genome::Scoring;
 
 /// An ungapped high-scoring segment pair on one diagonal.
@@ -58,7 +59,10 @@ fn walk(
         if t < 0 || q < 0 || t >= target.len() as i64 || q >= query.len() as i64 {
             break;
         }
-        score += scoring.subst.score(target[t as usize], query[q as usize]);
+        score = score::add_clamped(
+            score,
+            scoring.subst.score(target[t as usize], query[q as usize]),
+        );
         steps += 1;
         if score > best {
             best = score;
@@ -92,9 +96,12 @@ pub fn xdrop_extend(
     // Seed body score.
     let mut seed_score = 0i32;
     for k in 0..seed_span {
-        seed_score += scoring
-            .subst
-            .score(target[target_pos + k], query[query_pos + k]);
+        seed_score = score::add_clamped(
+            seed_score,
+            scoring
+                .subst
+                .score(target[target_pos + k], query[query_pos + k]),
+        );
     }
 
     let (left_steps, left_score) = walk(
@@ -118,7 +125,7 @@ pub fn xdrop_extend(
         target_start: target_pos - left_steps,
         target_end: target_pos + seed_span + right_steps,
         query_start: query_pos - left_steps,
-        score: seed_score + left_score + right_score,
+        score: score::add_clamped(score::add_clamped(seed_score, left_score), right_score),
     }
 }
 

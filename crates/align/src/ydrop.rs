@@ -373,6 +373,10 @@ pub fn ydrop_extend_traced<K: CellSink>(
             };
 
             // Gotoh recurrences (paper Fig. 1).
+            // fastz-lint: allow(clamped-score-arith, Gotoh recurrence adds
+            // stay raw by contract — operands are clamped stored values and
+            // clamping here could flip the `ext >= open` tie-break at the
+            // sentinel floor; see crate::score module docs)
             let (i_val, i_ext) = {
                 let open = s_left + so_se;
                 let ext = i_left + se;

@@ -333,6 +333,8 @@ pub fn bitvec_extend_in(
 
         // Pattern mismatch masks: pm[c] bit b = 1 iff pattern[b] != c.
         let mut mat = [0u64; 4];
+        // bound: pbase + wlen <= m == pattern.len() — wlen is clamped
+        // to the remaining pattern when the window is cut.
         for (b, &pc) in pattern[pbase..pbase + wlen].iter().enumerate() {
             let bit = if mu == BitvecMutation::ReversedPatternMask {
                 wlen - 1 - b
@@ -400,6 +402,8 @@ pub fn bitvec_extend_in(
             out.counters.steps += 1;
             out.counters.cells += (kp1 * wlen) as u64;
             out.counters.alu_ops += (kp1 * 6) as u64;
+            // bound: tbase + tlen <= text.len() and 1 <= j <= tlen;
+            // `& 3` caps the pm index at 3.
             let pmv = pm[(text[tbase + j - 1] & 3) as usize];
             for d in 0..kp1 {
                 // Shift-in bits encode the analytic prefix-0 row:
@@ -413,9 +417,9 @@ pub fn bitvec_extend_in(
                 let mut val = if d == 0 {
                     m_term
                 } else {
-                    let s_term = (cur[d - 1] << 1) | u64::from(j - 1 > d - 1);
-                    let i_term = cur[d - 1];
-                    let d_term = (new[d - 1] << 1) | u64::from(j > d - 1);
+                    let s_term = (cur[d - 1] << 1) | u64::from(j - 1 > d - 1); // bound: d >= 1 in this arm, d < kp1 == cur.len()
+                    let i_term = cur[d - 1]; // bound: as above
+                    let d_term = (new[d - 1] << 1) | u64::from(j > d - 1); // bound: d >= 1, d < kp1 == new.len()
                     m_term & s_term & i_term & d_term
                 };
                 val |= beyond;
@@ -599,7 +603,7 @@ fn scan_column(
     wbest: &mut Option<(usize, usize, usize)>,
 ) {
     for d in 0..kp1 {
-        let fresh = (!rows[d]) & (if d == 0 { !0u64 } else { rows[d - 1] }) & window_mask;
+        let fresh = (!rows[d]) & (if d == 0 { !0u64 } else { rows[d - 1] }) & window_mask; // bound: d >= 1 in this arm, d < kp1 == rows.len()
         if fresh == 0 {
             continue;
         }
@@ -700,7 +704,9 @@ fn traceback(
     while b >= 0 {
         counters.scalar_ops += 1;
         shared.sanitize_tick();
-        let pb = pattern[pbase + b as usize] & 3;
+        let pb = pattern[pbase + b as usize] & 3; // bound: 0 <= b < wlen and pbase + wlen <= pattern.len()
+                                                  // bound: the `j >= 1` guard keeps tbase + j - 1 inside the
+                                                  // window's text slice (tbase + tlen <= text.len(), j <= tlen).
         if j >= 1 && (text[tbase + j - 1] & 3) == pb && alive(b - 1, j - 1, d, counters) {
             units.push(U_MATCH);
             b -= 1;
@@ -756,6 +762,7 @@ pub fn window_masks(text: &[u8], pattern: &[u8], k: usize) -> Vec<Vec<u64>> {
     let mut cur: Vec<u64> = (0..=k).map(|d| ((!0u64) << d) | beyond).collect();
     cols.push(cur.clone());
     for j in 1..=text.len() {
+        // bound: 1 <= j <= text.len(); `& 3` caps the pm index at 3.
         let pmv = pm[(text[j - 1] & 3) as usize];
         let mut new = vec![0u64; k + 1];
         for d in 0..=k {
@@ -763,9 +770,9 @@ pub fn window_masks(text: &[u8], pattern: &[u8], k: usize) -> Vec<Vec<u64>> {
             let mut val = if d == 0 {
                 m_term
             } else {
-                let s_term = (cur[d - 1] << 1) | u64::from(j - 1 > d - 1);
-                let d_term = (new[d - 1] << 1) | u64::from(j > d - 1);
-                m_term & s_term & cur[d - 1] & d_term
+                let s_term = (cur[d - 1] << 1) | u64::from(j - 1 > d - 1); // bound: d >= 1 in this arm, d <= k == cur.len() - 1
+                let d_term = (new[d - 1] << 1) | u64::from(j > d - 1); // bound: d >= 1, d <= k == new.len() - 1
+                m_term & s_term & cur[d - 1] & d_term // bound: as above
             };
             val |= beyond;
             new[d] = val;

@@ -323,12 +323,90 @@ struct ProblemLog {
     wasted_s: f64,
 }
 
-/// Packs the optimization flags into the workload fingerprint.
+/// Packs the optimization flags for the config word. Injective on its
+/// own (three bools below `streams << 3`); [`config_identity`] folds
+/// the whole value instead of OR-ing further bits on top, which is
+/// what used to let `streams` collide with the strip-width bit range.
+// fastz-lint: fingerprint(OptFlags)
 fn flags_bits(flags: &OptFlags) -> u64 {
-    (flags.cyclic_buffers as u64)
-        | (flags.eager_traceback as u64) << 1
-        | (flags.executor_trimming as u64) << 2
-        | (flags.streams as u64) << 3
+    let OptFlags {
+        cyclic_buffers,
+        eager_traceback,
+        executor_trimming,
+        streams,
+    } = *flags;
+    (cyclic_buffers as u64)
+        | (eager_traceback as u64) << 1
+        | (executor_trimming as u64) << 2
+        | (streams as u64) << 3
+}
+
+/// FNV-1a folds `v` into `h` — the combiner for the config word.
+fn fold64(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The semantic-config word folded into the checkpoint fingerprint.
+///
+/// Every `FastZConfig` field is either folded here, covered by another
+/// fingerprint input, or waived with a written reason — the exhaustive
+/// destructure makes adding a field without deciding its identity fate
+/// a compile error. Components are FNV-folded rather than bit-packed:
+/// the old packed word let `streams << 3` reach the bit range
+/// `strip_width << 8` occupied, and silently omitted `max_extension`
+/// and the bitvector geometry from the identity entirely.
+// fastz-lint: fingerprint(FastZConfig)
+fn config_identity(cfg: &FastZConfig, strip_width: usize) -> u64 {
+    let FastZConfig {
+        scoring: _, // not fingerprinted: workload_fingerprint folds the scoring scheme itself
+        flags,
+        device: _, // not fingerprinted: the device model shapes modeled timing, never results
+        max_extension,
+        inspector_batch: _, // not fingerprinted: launch batching is wall-clock only
+        sim_threads: _,     // not fingerprinted: host parallelism is wall-clock only
+        host_dispatch: _,   // not fingerprinted: dispatch policy is wall-clock only
+        strip_width: _, // not fingerprinted as declared: the clamped effective width is folded instead
+        backend: _,     // not fingerprinted: interpreter and SIMD are bit-identical by contract
+        sanitize: _,    // not fingerprinted: the sanitizer never touches results
+        extend_backend,
+        bitvec,
+        index_fingerprint: _, // not fingerprinted: combined into the workload word separately (0 is the identity)
+    } = cfg;
+    // A y-drop checkpoint holds affine scores and must not restore into
+    // a bitvector run (and vice versa).
+    let backend_bit = match extend_backend {
+        ExtendBackend::YDrop => 0u64,
+        ExtendBackend::Bitvector => 1u64,
+    };
+    let mut w = fold64(0xcbf2_9ce4_8422_2325, flags_bits(flags));
+    w = fold64(w, strip_width as u64);
+    w = fold64(w, backend_bit);
+    w = fold64(w, *max_extension as u64);
+    w = fold64(w, bitvec_identity(bitvec));
+    w
+}
+
+/// Identity of the bitvector geometry. A semantic axis when the
+/// bitvector backend is active; folded unconditionally so the config
+/// word is a total function of the config, not itself config-dependent.
+// fastz-lint: fingerprint(BitvecConfig)
+fn bitvec_identity(bv: &BitvecConfig) -> u64 {
+    let BitvecConfig {
+        window,
+        overlap,
+        k,
+        mutation,
+    } = *bv;
+    let mut w = fold64(0xcbf2_9ce4_8422_2325, window as u64);
+    w = fold64(w, overlap as u64);
+    w = fold64(w, k as u64);
+    w = fold64(w, mutation as u64);
+    w
 }
 
 /// One extension problem under the resilience ladder.
@@ -491,16 +569,10 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
     let clock_hz = cfg.device.clock_ghz * 1e9;
 
     // ---- Checkpoint: load and validate against the workload --------------
-    // The strip width rides in the fingerprint's upper bits: a
-    // checkpoint written at another width holds the other engine's work
-    // counters and must not be restored into this run.
-    // The extension algorithm rides next to the strip width: a y-drop
-    // checkpoint holds affine scores and must not restore into a
-    // bitvector run (and vice versa).
-    let backend_bit = match cfg.extend_backend {
-        ExtendBackend::YDrop => 0u64,
-        ExtendBackend::Bitvector => 1u64,
-    };
+    // The semantic config word ([`config_identity`]) rides in the
+    // workload fingerprint: a checkpoint written at another strip
+    // width, extension algorithm, extension cap, or bitvector geometry
+    // holds another engine's work and must not be restored here.
     // The seed-index identity folds in last: anchors produced by a
     // persisted index version A must not resume a checkpoint written
     // under version B (combine with 0 is the identity, so in-memory
@@ -512,7 +584,7 @@ pub fn run_fastz_in_pool<S: MetricsSink>(
             anchors,
             seed_span,
             &cfg.scoring,
-            flags_bits(&flags) | (strip_width as u64) << 8 | backend_bit << 16,
+            config_identity(cfg, strip_width),
         ),
         cfg.index_fingerprint,
     );

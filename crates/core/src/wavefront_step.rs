@@ -102,6 +102,8 @@ pub fn step_interpreter(inp: &StepIn) -> StepOut {
         // operands sit well above i32::MIN by construction, and clamping
         // here could flip the `ext >= open` tie-break at the sentinel
         // floor, changing the extend flags in the traceback byte.
+        // fastz-lint: allow(clamped-score-arith, recurrence adds stay raw
+        // by the tie-break contract above; see fastz_align score docs)
         let (i_val, i_ext) = {
             let open = inp.s_left[l] + inp.so_se;
             let ext = inp.i_left[l] + inp.se;

@@ -1,0 +1,67 @@
+//! `fastz-lint` CLI.
+//!
+//! ```text
+//! cargo run -p fastz-lint -- --deny-all --json lint.json
+//! ```
+//!
+//! Scans the workspace rooted at `--root` (default: the current
+//! directory), prints a human-readable summary, optionally writes the
+//! deterministic JSON report, and with `--deny-all` exits non-zero
+//! when any finding survives suppression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let ws = match fastz_lint::Workspace::scan_repo(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("fastz-lint: scanning {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rep = fastz_lint::run(&ws);
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, rep.to_json()) {
+            eprintln!("fastz-lint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", rep.render_text());
+    if deny_all && !rep.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("fastz-lint: {err}");
+    }
+    eprintln!("usage: fastz-lint [--deny-all] [--json PATH] [--root PATH]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

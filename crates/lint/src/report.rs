@@ -1,0 +1,230 @@
+//! Structured findings and the deterministic report.
+//!
+//! Mirrors the `SanitizeReport` discipline from `fastz-gpu-sim`: every
+//! collection is sorted before serialization, the JSON is hand-rolled
+//! (no serde in this workspace), and two runs over the same tree are
+//! byte-identical.
+
+use std::collections::BTreeMap;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id, e.g. `clamped-score-arith`.
+    pub rule: String,
+    /// What was seen, specific to the site.
+    pub message: String,
+    /// The historical bug class this rule encodes (same text for every
+    /// finding of the rule).
+    pub provenance: String,
+}
+
+/// One applied (used) suppression, reported so the gate can see what
+/// is being waved through and why.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AppliedSuppression {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// The full lint run result.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<AppliedSuppression>,
+}
+
+impl LintReport {
+    /// Sorts every collection; call once before rendering.
+    pub fn finalize(&mut self) {
+        self.findings.sort();
+        self.suppressions.sort();
+    }
+
+    /// Per-rule (findings, suppressions) counts, sorted by rule id.
+    pub fn rule_counts(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for f in &self.findings {
+            counts.entry(f.rule.clone()).or_default().0 += 1;
+        }
+        for s in &self.suppressions {
+            counts.entry(s.rule.clone()).or_default().1 += 1;
+        }
+        counts
+    }
+
+    /// Deterministic JSON: sorted findings and suppressions, fixed key
+    /// order, no timestamps or absolute paths.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"fastz-lint\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"findings_total\": {},\n", self.findings.len()));
+        out.push_str(&format!(
+            "  \"suppressions_total\": {},\n",
+            self.suppressions.len()
+        ));
+        out.push_str("  \"rules\": [");
+        let counts = self.rule_counts();
+        for (i, (rule, (nf, ns))) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"id\": ");
+            push_json_str(&mut out, rule);
+            out.push_str(&format!(", \"findings\": {nf}, \"suppressions\": {ns}}}"));
+        }
+        if !counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            push_json_str(&mut out, &f.rule);
+            out.push_str(", \"file\": ");
+            push_json_str(&mut out, &f.file);
+            out.push_str(&format!(", \"line\": {}, \"message\": ", f.line));
+            push_json_str(&mut out, &f.message);
+            out.push_str(", \"provenance\": ");
+            push_json_str(&mut out, &f.provenance);
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"suppressions\": [");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            push_json_str(&mut out, &s.rule);
+            out.push_str(", \"file\": ");
+            push_json_str(&mut out, &s.file);
+            out.push_str(&format!(", \"line\": {}, \"reason\": ", s.line));
+            push_json_str(&mut out, &s.reason);
+            out.push('}');
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    provenance: {}\n",
+                f.file, f.line, f.rule, f.message, f.provenance
+            ));
+        }
+        out.push_str(&format!(
+            "fastz-lint: {} file(s), {} finding(s), {} suppression(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressions.len()
+        ));
+        for (rule, (nf, ns)) in self.rule_counts() {
+            out.push_str(&format!("  {rule}: {nf} finding(s), {ns} suppression(s)\n"));
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (same escaper as
+/// `SanitizeReport`).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+            provenance: "p".to_string(),
+        }
+    }
+
+    #[test]
+    fn findings_sorted_and_counted() {
+        let mut r = LintReport {
+            files_scanned: 2,
+            findings: vec![
+                finding("b.rs", 9, "determinism"),
+                finding("a.rs", 3, "determinism"),
+                finding("a.rs", 1, "float-total-order"),
+            ],
+            suppressions: vec![],
+        };
+        r.finalize();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[0].line, 1);
+        let counts = r.rule_counts();
+        assert_eq!(counts["determinism"], (2, 0));
+        assert_eq!(counts["float-total-order"], (1, 0));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = LintReport {
+            files_scanned: 1,
+            findings: vec![Finding {
+                file: "a.rs".to_string(),
+                line: 1,
+                rule: "r".to_string(),
+                message: "saw \"x\"\npath\\y".to_string(),
+                provenance: "p".to_string(),
+            }],
+            suppressions: vec![AppliedSuppression {
+                file: "a.rs".to_string(),
+                line: 4,
+                rule: "r".to_string(),
+                reason: "why".to_string(),
+            }],
+        };
+        r.finalize();
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\\\"x\\\""));
+        assert!(j1.contains("path\\\\y"));
+        assert!(j1.contains("\"findings_total\": 1"));
+        assert!(j1.contains("\"suppressions_total\": 1"));
+    }
+}

@@ -1,0 +1,154 @@
+//! `fingerprint-exhaustive`: identity functions must destructure their
+//! inputs exhaustively.
+//!
+//! PR 3's checkpoint fingerprint and PR 9's index fingerprint both
+//! grew the same failure mode: a new config/struct field lands, the
+//! fingerprint function keeps compiling (it reads fields by name), and
+//! resume silently accepts artifacts computed under different
+//! semantics. The fix is structural: the identity function opens with
+//! a marked destructure
+//!
+//! ```text
+//! // fastz-lint: fingerprint(FastZConfig)
+//! let FastZConfig { scoring, flags, .. } = cfg;   // `..` is a finding
+//! ```
+//!
+//! so adding a field without deciding its fingerprint fate is a
+//! compile error, and *discarding* a field requires an explicit
+//! `// not fingerprinted: <why>` note the rule checks for.
+
+use super::Rule;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+/// Types whose identity feeds checkpoint/artifact reuse. When a
+/// workspace defines one of these structs, it must also carry a marked
+/// destructure witness; fixtures without the struct stay silent.
+const REQUIRED: &[&str] = &[
+    "FastZConfig",
+    "OptFlags",
+    "BitvecConfig",
+    "ShardedSeedIndex",
+];
+
+/// A marker must be followed by its destructure within this many lines.
+const MARKER_REACH: u32 = 4;
+
+pub struct FingerprintExhaustive;
+
+impl Rule for FingerprintExhaustive {
+    fn id(&self) -> &'static str {
+        "fingerprint-exhaustive"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "PR 3/PR 9: config fields missing from the checkpoint/index fingerprint resumed \
+         stale artifacts under changed semantics; identity functions must destructure \
+         exhaustively so new fields fail the build until fingerprinted or waived"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let mut witnessed: Vec<&str> = Vec::new();
+        for f in &ws.files {
+            for m in &f.fingerprint_markers {
+                witnessed.push(&m.type_name);
+                self.check_marker(ws, f, m, out);
+            }
+        }
+        // Coverage: each required type that exists in this workspace
+        // needs a witness somewhere.
+        for req in REQUIRED {
+            if witnessed.contains(req) {
+                continue;
+            }
+            for f in &ws.files {
+                if let Some(sd) = f.structs.iter().find(|s| s.name == *req) {
+                    out.push(self.finding(
+                        &f.path,
+                        sd.line,
+                        format!(
+                            "`{req}` feeds config identity but has no \
+                             `// fastz-lint: fingerprint({req})` destructure witness"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl FingerprintExhaustive {
+    fn check_marker(
+        &self,
+        ws: &Workspace,
+        f: &SourceFile,
+        m: &crate::source::FingerprintMarker,
+        out: &mut Vec<Finding>,
+    ) {
+        let d = f
+            .destructures
+            .iter()
+            .filter(|d| {
+                d.type_name == m.type_name && d.line >= m.line && d.line <= m.line + MARKER_REACH
+            })
+            .min_by_key(|d| d.line);
+        let Some(d) = d else {
+            out.push(self.finding(
+                &f.path,
+                m.line,
+                format!(
+                    "fingerprint marker for `{}` has no `let {} {{ .. }}` destructure \
+                     within {} lines",
+                    m.type_name, m.type_name, MARKER_REACH
+                ),
+            ));
+            return;
+        };
+        if d.has_rest {
+            out.push(self.finding(
+                &f.path,
+                d.line,
+                format!(
+                    "fingerprint destructure of `{}` uses `..`, defeating exhaustiveness",
+                    d.type_name
+                ),
+            ));
+        }
+        for field in &d.fields {
+            if field.discarded && !f.note_near(field.line, 2, "not fingerprinted:") {
+                out.push(self.finding(
+                    &f.path,
+                    field.line,
+                    format!(
+                        "field `{}` is discarded from the `{}` fingerprint without a \
+                         `// not fingerprinted: <why>` note",
+                        field.name, d.type_name
+                    ),
+                ));
+            }
+        }
+        // Cross-check against the struct definition when it is in the
+        // scanned set (the compiler enforces this for real builds; the
+        // check keeps mutation fixtures honest too).
+        let def = ws
+            .files
+            .iter()
+            .flat_map(|sf| sf.structs.iter())
+            .find(|s| s.name == m.type_name);
+        if let (Some(def), false) = (def, d.has_rest) {
+            for sf in &def.fields {
+                if !d.fields.iter().any(|pf| &pf.name == sf) {
+                    out.push(self.finding(
+                        &f.path,
+                        d.line,
+                        format!(
+                            "field `{}` of `{}` is absent from the fingerprint destructure",
+                            sf, m.type_name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `float-total-order`: forbid `partial_cmp` calls.
+//!
+//! Floats do not implement `Ord`, so any `sort_by`/`max_by`/`min_by`
+//! over float keys must go through either `partial_cmp` or `total_cmp`
+//! inside its comparator — which makes the `partial_cmp` call itself
+//! the one sound token-level signal for the whole bug class. PR 4's
+//! crash was exactly `partial_cmp().unwrap()` meeting a NaN y-drop
+//! score mid-ranking; PR 6 swept the orderings to `total_cmp`, and this
+//! rule keeps them there. Flagged in test code too: a NaN-partial test
+//! comparator hides the same panic behind a green run.
+
+use super::Rule;
+use crate::lex::TokKind;
+use crate::report::Finding;
+use crate::Workspace;
+
+pub struct FloatTotalOrder;
+
+impl Rule for FloatTotalOrder {
+    fn id(&self) -> &'static str {
+        "float-total-order"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "PR 4: NaN-poisoned partial_cmp().unwrap() panicked the y-drop ranking mid-run; \
+         PR 6 swept float orderings to total_cmp and this rule keeps them there"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            let toks = f.toks();
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || t.text != "partial_cmp" {
+                    continue;
+                }
+                // Only call sites: `.partial_cmp(` / `::partial_cmp(`.
+                // A `fn partial_cmp` in a PartialOrd impl is the trait
+                // being implemented, not an ordering decision.
+                let called_on = i > 0 && matches!(toks[i - 1].text.as_str(), "." | "::");
+                let invoked = toks.get(i + 1).map(|n| n.text == "(").unwrap_or(false);
+                if called_on && invoked {
+                    out.push(self.finding(
+                        &f.path,
+                        t.line,
+                        "call to `partial_cmp`; float orderings must use `total_cmp`".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

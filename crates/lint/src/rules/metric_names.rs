@@ -1,0 +1,162 @@
+//! `metric-name-registry`: both sides of the zero-emission discipline.
+//!
+//! PR 3 established that every metric series is declared once in
+//! `obs::names` and emitted (at least as zero) on every observed run,
+//! so exported series sets never depend on configuration. The rule
+//! enforces the static half:
+//!
+//! * every declared `fastz_`-prefixed name const is listed in
+//!   `names::ALL` (and `ALL` lists nothing undeclared, no duplicates);
+//! * every declared name has at least one non-test reference outside
+//!   the registry slices themselves — a name nobody emits is dead
+//!   discipline;
+//! * no `fastz_`-prefixed string literal appears outside `names.rs` in
+//!   non-test code — literals reaching a `MetricsSink` must come from
+//!   the registry, not be retyped at the call site.
+
+use super::Rule;
+use crate::lex::TokKind;
+use crate::report::Finding;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+/// The registry module. When absent from the workspace (mutation
+/// fixtures), the declaration-side checks are silent and only the
+/// rogue-literal check runs.
+const NAMES_PATH: &str = "crates/obs/src/names.rs";
+
+/// Metric name literals carry this prefix.
+const PREFIX: &str = "fastz_";
+
+pub struct MetricNameRegistry;
+
+impl Rule for MetricNameRegistry {
+    fn id(&self) -> &'static str {
+        "metric-name-registry"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "PR 3: metric names drifting from obs::names broke zero-emission discipline \
+         (exported series sets depended on configuration); every series is declared once \
+         in the registry and emitted somewhere"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Rogue literals: `fastz_...` strings outside the registry.
+        for f in ws.files.iter().filter(|f| f.path != NAMES_PATH) {
+            for t in f.toks() {
+                if t.kind == TokKind::Str && t.text.starts_with(PREFIX) && !f.in_test(t.line) {
+                    out.push(self.finding(
+                        &f.path,
+                        t.line,
+                        format!(
+                            "metric-name literal \"{}\" bypasses obs::names; \
+                             reference the registry const instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let Some(names) = ws.files.iter().find(|f| f.path == NAMES_PATH) else {
+            return;
+        };
+        let declared: Vec<_> = names
+            .str_consts
+            .iter()
+            .filter(|c| c.value.starts_with(PREFIX))
+            .collect();
+
+        // Registry slice: ALL must list exactly the declared consts.
+        match names.slice_consts.iter().find(|s| s.name == "ALL") {
+            None => out.push(self.finding(
+                NAMES_PATH,
+                1,
+                "obs::names has no `ALL` registry slice".to_string(),
+            )),
+            Some(all) => {
+                let listed: BTreeSet<&str> = all.elems.iter().map(|s| s.as_str()).collect();
+                if listed.len() != all.elems.len() {
+                    out.push(self.finding(
+                        NAMES_PATH,
+                        all.line,
+                        "`names::ALL` contains duplicate entries".to_string(),
+                    ));
+                }
+                for c in &declared {
+                    if !listed.contains(c.name.as_str()) {
+                        out.push(self.finding(
+                            NAMES_PATH,
+                            c.line,
+                            format!(
+                                "declared metric name `{}` is missing from `names::ALL`",
+                                c.name
+                            ),
+                        ));
+                    }
+                }
+                let names_set: BTreeSet<&str> = declared.iter().map(|c| c.name.as_str()).collect();
+                for e in &all.elems {
+                    if !names_set.contains(e.as_str()) {
+                        out.push(self.finding(
+                            NAMES_PATH,
+                            all.line,
+                            format!(
+                                "`names::ALL` lists `{e}`, which is not a declared metric name"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Emission side: every declared name must be referenced in
+        // non-test code somewhere besides its declaration and the
+        // registry slices (helper bodies in names.rs count).
+        for c in &declared {
+            // Format-string interpolation (`format!("{FAULTS_TOTAL}...")`
+            // in the labeled-name helpers) is an emission site too.
+            let interp = format!("{{{}}}", c.name);
+            let mut emitted = false;
+            'files: for f in &ws.files {
+                for (i, t) in f.toks().iter().enumerate() {
+                    if f.in_test(t.line) {
+                        continue;
+                    }
+                    if t.kind == TokKind::Str && t.text.contains(&interp) {
+                        emitted = true;
+                        break 'files;
+                    }
+                    if t.kind != TokKind::Ident || t.text != c.name {
+                        continue;
+                    }
+                    if f.path == NAMES_PATH {
+                        if t.line == c.line {
+                            continue; // the declaration itself
+                        }
+                        let in_slice = names
+                            .slice_consts
+                            .iter()
+                            .any(|s| i >= s.init_tok_range.0 && i < s.init_tok_range.1);
+                        if in_slice {
+                            continue; // listing in ALL/partitions is not emission
+                        }
+                    }
+                    emitted = true;
+                    break 'files;
+                }
+            }
+            if !emitted {
+                out.push(self.finding(
+                    NAMES_PATH,
+                    c.line,
+                    format!(
+                        "metric name `{}` is declared but has no emission site",
+                        c.name
+                    ),
+                ));
+            }
+        }
+    }
+}

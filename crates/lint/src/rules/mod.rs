@@ -1,0 +1,56 @@
+//! The typed rule registry. Each rule encodes one bug class this repo
+//! has already shipped and fixed dynamically; the provenance string
+//! names that history and travels with every finding.
+
+pub mod determinism;
+pub mod fingerprint;
+pub mod float_order;
+pub mod kernel_no_panic;
+pub mod metric_names;
+pub mod score_arith;
+
+use crate::report::Finding;
+use crate::Workspace;
+
+/// Rule id reserved for the engine's own suppression accounting
+/// (missing reason, unknown rule id, unused suppression). Hygiene
+/// findings cannot themselves be suppressed.
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+pub trait Rule {
+    /// Stable kebab-case id used in findings and `allow(...)` comments.
+    fn id(&self) -> &'static str;
+    /// The historical bug class this rule encodes.
+    fn provenance(&self) -> &'static str;
+    /// Scans the workspace and appends findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+
+    /// Builds a finding carrying this rule's id and provenance.
+    fn finding(&self, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: self.id().to_string(),
+            message,
+            provenance: self.provenance().to_string(),
+        }
+    }
+}
+
+/// Every shipped rule, in registry order (findings are sorted later,
+/// so order only affects nothing observable).
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_order::FloatTotalOrder),
+        Box::new(score_arith::ClampedScoreArith),
+        Box::new(metric_names::MetricNameRegistry),
+        Box::new(fingerprint::FingerprintExhaustive),
+        Box::new(determinism::Determinism),
+        Box::new(kernel_no_panic::KernelNoPanic),
+    ]
+}
+
+/// All rule ids a suppression may name.
+pub fn rule_ids() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.id()).collect()
+}

@@ -1,0 +1,321 @@
+//! Planted-violation mutation corpus.
+//!
+//! Each rule gets at least one fixture carrying exactly the bug class
+//! it encodes; the suite asserts the rule fires on it (with its id and
+//! provenance) and stays silent on a clean twin. This is the lint
+//! analog of the conformance oracle: a rule that cannot catch its own
+//! planted violation is a dead gate.
+
+use fastz_lint::report::LintReport;
+use fastz_lint::{run, Workspace};
+
+fn lint(files: &[(&str, &str)]) -> LintReport {
+    run(&Workspace::from_sources(
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+    ))
+}
+
+/// Asserts the report holds exactly one finding, under `rule`, with a
+/// provenance naming the historical bug class (`prov_tag`).
+fn assert_single(rep: &LintReport, rule: &str, prov_tag: &str) {
+    assert_eq!(
+        rep.findings.len(),
+        1,
+        "expected one {rule} finding, got {:#?}",
+        rep.findings
+    );
+    let f = &rep.findings[0];
+    assert_eq!(f.rule, rule);
+    assert!(
+        f.provenance.contains(prov_tag),
+        "provenance {:?} does not name {prov_tag:?}",
+        f.provenance
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Clean corpus: one in-scope file per rule, all idiomatic — zero findings.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_corpus_is_silent() {
+    let rep = lint(&[
+        (
+            "crates/align/src/driver.rs",
+            "pub fn splice(score: i32, bonus: i32) -> i32 {\n    \
+             score::add_clamped(score, bonus)\n}\n",
+        ),
+        (
+            "crates/core/src/wavefront_step.rs",
+            "pub fn probe(v: &[i32], i: usize) -> i32 {\n    \
+             // bound: callers hold i + 1 < v.len() (strip invariant)\n    \
+             v[i + 1]\n}\n",
+        ),
+        (
+            "crates/obs/src/sink.rs",
+            "use std::collections::BTreeMap;\n\
+             pub fn series() -> BTreeMap<String, u64> {\n    BTreeMap::new()\n}\n",
+        ),
+        (
+            "crates/core/src/rank.rs",
+            "pub fn best(xs: &[f64]) -> f64 {\n    \
+             xs.iter().copied().fold(f64::NEG_INFINITY, |a, b| \
+             if b.total_cmp(&a).is_gt() { b } else { a })\n}\n",
+        ),
+        (
+            "crates/core/src/cfgid.rs",
+            "pub struct Geometry { pub window: usize, pub overlap: usize }\n\
+             // fastz-lint: fingerprint(Geometry)\n\
+             pub fn identity(g: &Geometry) -> u64 {\n    \
+             let Geometry { window, overlap } = g;\n    \
+             (*window as u64) ^ ((*overlap as u64) << 32)\n}\n",
+        ),
+    ]);
+    assert!(
+        rep.findings.is_empty(),
+        "clean corpus produced findings: {:#?}",
+        rep.findings
+    );
+    assert!(rep.suppressions.is_empty());
+    assert_eq!(rep.files_scanned, 5);
+}
+
+// ---------------------------------------------------------------------------
+// One planted violation per rule.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn catches_partial_cmp_on_floats() {
+    let rep = lint(&[(
+        "crates/core/src/rank.rs",
+        "pub fn best(xs: &[f64]) -> f64 {\n    let mut best = xs[0];\n    \
+         for &x in xs {\n        \
+         if x.partial_cmp(&best) == Some(std::cmp::Ordering::Greater) { best = x; }\n    \
+         }\n    best\n}\n",
+    )]);
+    assert_single(&rep, "float-total-order", "PR 4");
+}
+
+#[test]
+fn catches_raw_score_arithmetic_in_scope() {
+    let rep = lint(&[(
+        "crates/align/src/driver.rs",
+        "pub fn splice(score: i32, bonus: i32) -> i32 {\n    score + bonus\n}\n",
+    )]);
+    assert_single(&rep, "clamped-score-arith", "PR 1");
+    assert_eq!(rep.findings[0].line, 2);
+}
+
+#[test]
+fn score_arithmetic_out_of_scope_is_not_flagged() {
+    // Same token stream, but the path opts out of the score-arith scope.
+    let rep = lint(&[(
+        "crates/genome/src/stats.rs",
+        "pub fn splice(score: i32, bonus: i32) -> i32 {\n    score + bonus\n}\n",
+    )]);
+    assert!(rep.findings.is_empty(), "{:#?}", rep.findings);
+}
+
+#[test]
+fn catches_rogue_metric_literal() {
+    let rep = lint(&[(
+        "crates/core/src/emit.rs",
+        "pub fn name() -> &'static str {\n    \"fastz_rogue_total\"\n}\n",
+    )]);
+    assert_single(&rep, "metric-name-registry", "PR 3");
+    assert!(rep.findings[0].message.contains("fastz_rogue_total"));
+}
+
+#[test]
+fn catches_registry_slice_drift() {
+    // A declared name missing from ALL (both are emitted elsewhere, so
+    // only the registry-slice check should fire).
+    let rep = lint(&[
+        (
+            "crates/obs/src/names.rs",
+            "pub const A_TOTAL: &str = \"fastz_a_total\";\n\
+             pub const B_TOTAL: &str = \"fastz_b_total\";\n\
+             pub const ALL: &[&str] = &[A_TOTAL];\n",
+        ),
+        (
+            "crates/core/src/emit.rs",
+            "use crate::names::{A_TOTAL, B_TOTAL};\n\
+             pub fn both() -> (&'static str, &'static str) {\n    (A_TOTAL, B_TOTAL)\n}\n",
+        ),
+    ]);
+    assert_single(&rep, "metric-name-registry", "PR 3");
+    assert!(
+        rep.findings[0].message.contains("B_TOTAL"),
+        "{:?}",
+        rep.findings[0].message
+    );
+}
+
+#[test]
+fn catches_rest_pattern_in_fingerprint_destructure() {
+    let rep = lint(&[(
+        "crates/core/src/cfgid.rs",
+        "pub struct Geometry { pub window: usize, pub overlap: usize }\n\
+         // fastz-lint: fingerprint(Geometry)\n\
+         pub fn identity(g: &Geometry) -> u64 {\n    \
+         let Geometry { window, .. } = g;\n    *window as u64\n}\n",
+    )]);
+    assert_single(&rep, "fingerprint-exhaustive", "PR 3/PR 9");
+    assert!(rep.findings[0].message.contains(".."));
+}
+
+#[test]
+fn catches_discard_without_waiver_note() {
+    let rep = lint(&[(
+        "crates/core/src/cfgid.rs",
+        "pub struct Geometry { pub window: usize, pub overlap: usize }\n\
+         // fastz-lint: fingerprint(Geometry)\n\
+         pub fn identity(g: &Geometry) -> u64 {\n    \
+         let Geometry { window, overlap: _ } = g;\n    *window as u64\n}\n",
+    )]);
+    assert_single(&rep, "fingerprint-exhaustive", "PR 3/PR 9");
+    assert!(rep.findings[0].message.contains("overlap"));
+}
+
+#[test]
+fn catches_required_type_without_witness() {
+    let rep = lint(&[(
+        "crates/core/src/config.rs",
+        "pub struct OptFlags { pub streams: usize }\n",
+    )]);
+    assert_single(&rep, "fingerprint-exhaustive", "PR 3/PR 9");
+    assert!(rep.findings[0].message.contains("OptFlags"));
+}
+
+#[test]
+fn catches_hashmap_in_determinism_scope() {
+    let rep = lint(&[(
+        "crates/obs/src/sink.rs",
+        "use std::collections::HashMap;\n\
+         pub fn series() -> usize {\n    HashMap::<u32, u32>::new().len()\n}\n",
+    )]);
+    assert_eq!(rep.findings.len(), 2, "{:#?}", rep.findings); // use + call site
+    for f in &rep.findings {
+        assert_eq!(f.rule, "determinism");
+        assert!(f.provenance.contains("bit-identity"));
+    }
+}
+
+#[test]
+fn catches_unwrap_and_unnoted_index_in_kernel() {
+    let rep = lint(&[(
+        "crates/core/src/wavefront_step.rs",
+        "pub fn probe(v: &[i32], i: usize) -> i32 {\n    \
+         let x = v[i + 1];\n    \
+         x.checked_add(1).unwrap()\n}\n",
+    )]);
+    assert_eq!(rep.findings.len(), 2, "{:#?}", rep.findings);
+    let rules: Vec<_> = rep.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert_eq!(rules, ["kernel-no-panic", "kernel-no-panic"]);
+    assert!(rep.findings.iter().any(|f| f.message.contains("unwrap")));
+    assert!(rep
+        .findings
+        .iter()
+        .all(|f| f.provenance.contains("kernel contract")));
+}
+
+// ---------------------------------------------------------------------------
+// Suppression accounting.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trailing_suppression_absorbs_and_is_accounted() {
+    let rep = lint(&[(
+        "crates/align/src/driver.rs",
+        "pub fn splice(score: i32, bonus: i32) -> i32 {\n    \
+         score + bonus // fastz-lint: allow(clamped-score-arith, fixture: operands proven in range)\n}\n",
+    )]);
+    assert!(rep.findings.is_empty(), "{:#?}", rep.findings);
+    assert_eq!(rep.suppressions.len(), 1);
+    let s = &rep.suppressions[0];
+    assert_eq!(s.rule, "clamped-score-arith");
+    assert_eq!(s.reason, "fixture: operands proven in range");
+    assert_eq!(s.line, 2);
+}
+
+#[test]
+fn suppression_without_reason_is_a_hygiene_finding() {
+    let rep = lint(&[(
+        "crates/align/src/driver.rs",
+        "pub fn splice(score: i32, bonus: i32) -> i32 {\n    \
+         score + bonus // fastz-lint: allow(clamped-score-arith)\n}\n",
+    )]);
+    // The violation is absorbed, but the reasonless directive is itself
+    // a finding — suppression is accounted, never free.
+    assert_single(&rep, "suppression-hygiene", "written reason");
+    assert!(rep.findings[0].message.contains("no written reason"));
+    assert_eq!(rep.suppressions.len(), 1);
+}
+
+#[test]
+fn suppression_of_unknown_rule_is_a_hygiene_finding() {
+    let rep = lint(&[(
+        "crates/core/src/misc.rs",
+        "pub fn f() -> i32 {\n    1 // fastz-lint: allow(no-such-rule, because)\n}\n",
+    )]);
+    assert_single(&rep, "suppression-hygiene", "known rule");
+    assert!(rep.findings[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn unused_suppression_is_a_hygiene_finding() {
+    let rep = lint(&[(
+        "crates/core/src/misc.rs",
+        "// fastz-lint: allow(float-total-order, nothing here needs this)\n\
+         pub fn f() -> i32 {\n    1\n}\n",
+    )]);
+    assert_single(&rep, "suppression-hygiene", "match a live finding");
+    assert!(rep.findings[0].message.contains("matches no finding"));
+}
+
+#[test]
+fn standalone_suppression_covers_its_paragraph_only() {
+    let rep = lint(&[(
+        "crates/align/src/driver.rs",
+        "pub fn splice(score: i32, bonus: i32) -> i32 {\n    \
+         // fastz-lint: allow(clamped-score-arith, fixture: paragraph scope)\n    \
+         let a = score + bonus;\n    let b = a + score;\n\n    \
+         b + score\n}\n",
+    )]);
+    // The two adds inside the paragraph are absorbed (one accounted
+    // suppression); the add after the blank line is not.
+    assert_eq!(rep.suppressions.len(), 1);
+    assert_single(&rep, "clamped-score-arith", "PR 1");
+    assert_eq!(rep.findings[0].line, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the report itself.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn report_json_is_byte_identical_across_runs() {
+    let corpus: Vec<(&str, &str)> = vec![
+        (
+            "crates/align/src/driver.rs",
+            "pub fn splice(score: i32, bonus: i32) -> i32 {\n    score + bonus\n}\n",
+        ),
+        (
+            "crates/obs/src/sink.rs",
+            "use std::collections::HashMap;\npub fn f() -> usize {\n    \
+             HashMap::<u32, u32>::new().len()\n}\n",
+        ),
+        (
+            "crates/core/src/rank.rs",
+            "pub fn cmp(a: f64, b: f64) -> bool {\n    \
+             a.partial_cmp(&b).is_some()\n}\n",
+        ),
+    ];
+    let first = lint(&corpus).to_json();
+    let second = lint(&corpus).to_json();
+    assert_eq!(first, second);
+    assert!(first.contains("\"tool\": \"fastz-lint\""));
+}

@@ -263,6 +263,188 @@ pub const TASK_CYCLES_EXECUTOR_HIST: &str = "fastz_task_cycles{phase=\"executor\
 /// Bucket bounds for the task-cycle histograms (decades).
 pub const TASK_CYCLES_BUCKETS: [f64; 6] = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7];
 
+// ---------------------------------------------------------------------------
+// Registry slices. `fastz-lint` (metric-name-registry) holds `ALL` in
+// one-to-one correspondence with the declared consts above; the obs
+// registry test holds `PIPELINE` to the golden fixture's base-series
+// set and `ALL` to the disjoint union of the partitions. Adding a
+// metric means adding it here (and to its partition) or the lint gate
+// fails the build.
+// ---------------------------------------------------------------------------
+
+/// Every series of one observed pipeline run — the golden fixture's
+/// base-series set (`fastz_task_cycles` appears once per phase label).
+pub const PIPELINE: &[&str] = &[
+    SEEDS_TOTAL,
+    PROBLEMS_TOTAL,
+    EAGER_RESOLVED_TOTAL,
+    EXECUTOR_PROBLEMS_TOTAL,
+    ALIGNMENTS_TOTAL,
+    BIN_SEEDS_TOTAL,
+    BITVEC_WINDOWS_TOTAL,
+    BITVEC_SENE_SKIPS_TOTAL,
+    BITVEC_DENT_DISCARDS_TOTAL,
+    CELLS_TOTAL,
+    STEPS_TOTAL,
+    ALU_OPS_TOTAL,
+    DIVERGENT_STEPS_TOTAL,
+    GLOBAL_READ_BYTES_TOTAL,
+    GLOBAL_WRITTEN_BYTES_TOTAL,
+    SHARED_BYTES_TOTAL,
+    SHUFFLES_TOTAL,
+    SCALAR_OPS_TOTAL,
+    WARP_TASKS_TOTAL,
+    FAULTS_TOTAL,
+    RETRIES_TOTAL,
+    FALLBACKS_TOTAL,
+    SKIPPED_SEEDS_TOTAL,
+    CHECKPOINTS_WRITTEN_TOTAL,
+    CHECKPOINTS_REJECTED_TOTAL,
+    RESTORED_PROBLEMS_TOTAL,
+    REDISPATCHED_ANCHORS_TOTAL,
+    DEVICES_LOST_TOTAL,
+    MODELED_TIME_SECONDS,
+    PHASE_SECONDS,
+    EAGER_HIT_RATIO,
+    GLOBAL_TRAFFIC_ELISION_RATIO,
+    ROOFLINE_INTENSITY,
+    ROOFLINE_DERATED_THRESHOLD,
+    ROOFLINE_COMPUTE_BOUND,
+    PIPELINE_COMPUTE_SECONDS,
+    PIPELINE_MEMORY_SECONDS,
+    PIPELINE_LAUNCH_SECONDS,
+    POOL_WORKERS,
+    POOL_PHASES_TOTAL,
+    POOL_TASKS_TOTAL,
+    POOL_STEALS_TOTAL,
+    POOL_OCCUPANCY_RATIO,
+    ARENA_TB_HITS_TOTAL,
+    ARENA_TB_MISSES_TOTAL,
+    SHARED_CAPACITY_BYTES,
+    SANITIZE_FINDINGS_TOTAL,
+    SANITIZE_SHARED_READS_TOTAL,
+    SANITIZE_SHARED_WRITES_TOTAL,
+    SANITIZE_BARRIERS_TOTAL,
+    BANK_CONFLICTS_TOTAL,
+    BANK_SERIALIZED_TOTAL,
+    BANK_MAX_WAYS,
+    BANK_SERIALIZATION_RATIO,
+    SEED_EXTENT_HIST,
+    TASK_CYCLES_INSPECTOR_HIST,
+    TASK_CYCLES_EXECUTOR_HIST,
+];
+
+/// Series only a multi-GPU run adds (per-device fan-out).
+pub const MULTI_GPU: &[&str] = &[DEVICE_MODELED_SECONDS, STRAGGLER_DEVICE];
+
+/// Series the alignment service and its index cache add on service
+/// runs (zero-emission discipline: all of them, zeros included, on
+/// every service run).
+pub const SERVICE: &[&str] = &[
+    SERVE_QUEUE_DEPTH,
+    SERVE_QUEUE_DEPTH_PEAK,
+    SERVE_ADMITTED_TOTAL,
+    SERVE_SHED_TOTAL,
+    SERVE_DEADLINE_MISSED_TOTAL,
+    SERVE_COMPLETED_TOTAL,
+    SERVE_DEGRADED_TOTAL,
+    SERVE_MERGED_LAUNCHES_TOTAL,
+    SERVE_PREFILTER_PROBED_TOTAL,
+    SERVE_PREFILTER_REJECTED_TOTAL,
+    SERVE_BIN_FILL_HIST,
+    INDEX_CACHE_HITS_TOTAL,
+    INDEX_CACHE_DISK_LOADS_TOTAL,
+    INDEX_CACHE_BUILDS_TOTAL,
+    INDEX_SHARDS_REUSED_TOTAL,
+    INDEX_SHARDS_MOVED_TOTAL,
+    INDEX_RESIDENT_SHARDS,
+    INDEX_REBALANCE_MAKESPAN_SECONDS,
+];
+
+/// The full registry: every declared `fastz_` name, exactly once.
+/// Const slices cannot be concatenated on stable, so the union is
+/// written out; the registry test pins `ALL` to the disjoint union of
+/// [`PIPELINE`], [`MULTI_GPU`], and [`SERVICE`].
+pub const ALL: &[&str] = &[
+    SEEDS_TOTAL,
+    PROBLEMS_TOTAL,
+    EAGER_RESOLVED_TOTAL,
+    EXECUTOR_PROBLEMS_TOTAL,
+    ALIGNMENTS_TOTAL,
+    BIN_SEEDS_TOTAL,
+    BITVEC_WINDOWS_TOTAL,
+    BITVEC_SENE_SKIPS_TOTAL,
+    BITVEC_DENT_DISCARDS_TOTAL,
+    CELLS_TOTAL,
+    STEPS_TOTAL,
+    ALU_OPS_TOTAL,
+    DIVERGENT_STEPS_TOTAL,
+    GLOBAL_READ_BYTES_TOTAL,
+    GLOBAL_WRITTEN_BYTES_TOTAL,
+    SHARED_BYTES_TOTAL,
+    SHUFFLES_TOTAL,
+    SCALAR_OPS_TOTAL,
+    WARP_TASKS_TOTAL,
+    FAULTS_TOTAL,
+    RETRIES_TOTAL,
+    FALLBACKS_TOTAL,
+    SKIPPED_SEEDS_TOTAL,
+    CHECKPOINTS_WRITTEN_TOTAL,
+    CHECKPOINTS_REJECTED_TOTAL,
+    RESTORED_PROBLEMS_TOTAL,
+    REDISPATCHED_ANCHORS_TOTAL,
+    DEVICES_LOST_TOTAL,
+    MODELED_TIME_SECONDS,
+    PHASE_SECONDS,
+    EAGER_HIT_RATIO,
+    GLOBAL_TRAFFIC_ELISION_RATIO,
+    ROOFLINE_INTENSITY,
+    ROOFLINE_DERATED_THRESHOLD,
+    ROOFLINE_COMPUTE_BOUND,
+    PIPELINE_COMPUTE_SECONDS,
+    PIPELINE_MEMORY_SECONDS,
+    PIPELINE_LAUNCH_SECONDS,
+    DEVICE_MODELED_SECONDS,
+    STRAGGLER_DEVICE,
+    POOL_WORKERS,
+    POOL_PHASES_TOTAL,
+    POOL_TASKS_TOTAL,
+    POOL_STEALS_TOTAL,
+    POOL_OCCUPANCY_RATIO,
+    ARENA_TB_HITS_TOTAL,
+    ARENA_TB_MISSES_TOTAL,
+    SHARED_CAPACITY_BYTES,
+    SANITIZE_FINDINGS_TOTAL,
+    SANITIZE_SHARED_READS_TOTAL,
+    SANITIZE_SHARED_WRITES_TOTAL,
+    SANITIZE_BARRIERS_TOTAL,
+    BANK_CONFLICTS_TOTAL,
+    BANK_SERIALIZED_TOTAL,
+    BANK_MAX_WAYS,
+    BANK_SERIALIZATION_RATIO,
+    SERVE_QUEUE_DEPTH,
+    SERVE_QUEUE_DEPTH_PEAK,
+    SERVE_ADMITTED_TOTAL,
+    SERVE_SHED_TOTAL,
+    SERVE_DEADLINE_MISSED_TOTAL,
+    SERVE_COMPLETED_TOTAL,
+    SERVE_DEGRADED_TOTAL,
+    SERVE_MERGED_LAUNCHES_TOTAL,
+    SERVE_PREFILTER_PROBED_TOTAL,
+    SERVE_PREFILTER_REJECTED_TOTAL,
+    SERVE_BIN_FILL_HIST,
+    INDEX_CACHE_HITS_TOTAL,
+    INDEX_CACHE_DISK_LOADS_TOTAL,
+    INDEX_CACHE_BUILDS_TOTAL,
+    INDEX_SHARDS_REUSED_TOTAL,
+    INDEX_SHARDS_MOVED_TOTAL,
+    INDEX_RESIDENT_SHARDS,
+    INDEX_REBALANCE_MAKESPAN_SECONDS,
+    SEED_EXTENT_HIST,
+    TASK_CYCLES_INSPECTOR_HIST,
+    TASK_CYCLES_EXECUTOR_HIST,
+];
+
 /// `base{phase="<phase>"}` convenience.
 pub fn phase(base: &str, phase: &str) -> String {
     labeled(base, "phase", phase)

@@ -29,7 +29,7 @@ use fastz_core::{rebalance_shards, ShardSchedule};
 use fastz_genome::Sequence;
 use fastz_obs::{names, MetricsSink};
 use fastz_seed::{IndexOrigin, PersistError, SeedShape, ShardedSeedIndex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Cache configuration.
@@ -82,7 +82,10 @@ struct Resident {
 /// A shared seed-index cache keyed by `(genome id, shape, shards)`.
 pub struct IndexCache {
     cfg: IndexCacheConfig,
-    resident: HashMap<String, Resident>,
+    // BTreeMap, not HashMap: resident_shards() iterates the values, and
+    // the bit-identity contract wants that walk (and any future series
+    // derived from it) in key order.
+    resident: BTreeMap<String, Resident>,
     stats: IndexCacheStats,
 }
 
@@ -113,7 +116,7 @@ impl IndexCache {
     pub fn new(cfg: IndexCacheConfig) -> IndexCache {
         IndexCache {
             cfg,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             stats: IndexCacheStats::default(),
         }
     }
